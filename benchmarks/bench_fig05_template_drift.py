@@ -1,0 +1,34 @@
+"""Figure 5 — fraction of query mass in shared templates vs window lag.
+
+Paper shape: ~51% shared between consecutive 7-day windows, ~35% for
+28-day windows, decaying below 10% beyond ~2.5 months regardless of the
+window size.
+"""
+
+from repro.harness.experiments import run_fig5
+from repro.harness.reporting import format_series
+
+
+def test_fig5_template_sharing_decay(benchmark, context, emit):
+    curves = benchmark.pedantic(
+        run_fig5, args=(context,), kwargs={"window_sizes": (7, 14, 21, 28)},
+        rounds=1, iterations=1,
+    )
+    for window_days, points in sorted(curves.items()):
+        emit(
+            format_series(
+                "lag (windows)",
+                "shared fraction",
+                points,
+                title=f"Figure 5: window size = {window_days} days",
+            )
+        )
+    # Shape: sharing decays with lag for every window size.
+    for window_days, points in curves.items():
+        if len(points) >= 3:
+            first = points[0][1]
+            last = points[-1][1]
+            assert last < first, f"no decay for {window_days}-day windows"
+    # Consecutive-window sharing is partial, not total and not zero.
+    lag1_7day = curves[7][0][1]
+    assert 0.15 <= lag1_7day <= 0.85

@@ -1,0 +1,36 @@
+"""Figure 6 — soundness of δ_euclidean: performance decay of a workload W
+on a design made for W0 is strongly correlated with δ(W0, W).
+
+Paper shape: a monotone, strongly correlated relationship between distance
+and average latency under the anchored design.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import run_fig6
+from repro.harness.reporting import format_table
+
+
+def test_fig6_distance_soundness(benchmark, context, emit):
+    points = benchmark.pedantic(
+        run_fig6, args=(context,), kwargs={"n_probes": 6, "anchors": 2},
+        rounds=1, iterations=1,
+    )
+    emit(
+        format_table(
+            ["δ(W0, W)", "avg latency on D(W0) [ms]"],
+            [[d, latency] for d, latency in points],
+            title="Figure 6: performance decay vs workload distance",
+        )
+    )
+    distances = np.array([d for d, _ in points])
+    latencies = np.array([l for _, l in points])
+    # Strong positive correlation between distance and latency.
+    correlation = np.corrcoef(distances, latencies)[0, 1]
+    emit(f"correlation = {correlation:.3f} (paper: strongly positive)")
+    assert correlation > 0.5
+    # The farthest probes must be slower than the nearest.  The probe
+    # distances only reach a few multiples of the observed drift (the
+    # sampler cannot exceed δ(W0, Q) for any candidate set Q), so the
+    # magnitude check is directional rather than a large factor.
+    assert latencies[distances.argmax()] > 1.05 * latencies[distances.argmin()]

@@ -1,0 +1,46 @@
+"""Figures 8 and 9 — effect of the robustness knob Γ (R1 and S2).
+
+Paper shape: CliffGuard approaches the nominal designer as Γ → 0; a very
+large Γ makes it overly conservative (eroding its margin) but it still
+performs no worse than the nominal designer.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_designer_comparison, run_gamma_sweep
+from repro.harness.reporting import format_table
+
+
+@pytest.mark.parametrize("workload,figure", [("R1", 8), ("S2", 9)])
+def test_gamma_knob(benchmark, context, emit, workload, figure):
+    base_gamma = context.default_gamma(workload)
+    gammas = [0.0, base_gamma, 8 * base_gamma]
+
+    def run():
+        sweep = run_gamma_sweep(context, workload, gammas=gammas)
+        reference = run_designer_comparison(
+            context, workload, which=["ExistingDesigner"]
+        )
+        return sweep, reference
+
+    sweep, reference = benchmark.pedantic(run, rounds=1, iterations=1)
+    nominal = reference.run("ExistingDesigner")
+    rows = [
+        [f"Γ = {gamma:.5f}", avg, mx] for gamma, (avg, mx) in sorted(sweep.items())
+    ]
+    rows.append(["ExistingDesigner", nominal.mean_average_ms, nominal.mean_max_ms])
+    emit(
+        format_table(
+            ["Setting", "Avg latency (ms)", "Max latency (ms)"],
+            rows,
+            title=f"Figure {figure}: robustness knob sweep on {workload}",
+        )
+    )
+
+    # Γ = 0 degenerates to the nominal designer (Section 3).
+    zero_avg, _ = sweep[0.0]
+    assert zero_avg == pytest.approx(nominal.mean_average_ms, rel=0.05)
+    # Even a poor (8×) Γ does not make CliffGuard much worse than nominal
+    # (Section 6.5's "no worse than the nominal designer" finding).
+    big_avg, _ = sweep[8 * base_gamma]
+    assert big_avg <= nominal.mean_average_ms * 1.35

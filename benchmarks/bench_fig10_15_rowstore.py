@@ -1,0 +1,43 @@
+"""Figures 10 and 15 — designer comparison on the row store (DBMS-X).
+
+Paper shape: CliffGuard improves over DBMS-X's advisor by 2–3.2× (avg) and
+2.5–5.2× (max) on R1, with smaller margins than on Vertica because the
+advisor's workload-compression heuristics resist overfitting; S1 shows
+small margins, S2 larger ones.
+"""
+
+import pytest
+
+from repro.harness.experiments import DESIGNER_ORDER, run_designer_comparison
+from repro.harness.reporting import format_table
+
+
+@pytest.mark.parametrize(
+    "workload,figure", [("R1", "10"), ("S1", "15a"), ("S2", "15b")]
+)
+def test_rowstore_designers(benchmark, context, emit, workload, figure):
+    outcome = benchmark.pedantic(
+        run_designer_comparison,
+        args=(context, workload),
+        kwargs={"engine": "rowstore"},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["Designer", "Avg latency (ms)", "Max latency (ms)"],
+            [
+                [name, outcome.run(name).mean_average_ms, outcome.run(name).mean_max_ms]
+                for name in DESIGNER_ORDER
+                if name in outcome.runs
+            ],
+            title=f"Figure {figure}: designers on the row store, {workload}",
+        )
+    )
+    avg = {name: run.mean_average_ms for name, run in outcome.runs.items()}
+    assert avg["FutureKnowingDesigner"] < avg["ExistingDesigner"]
+    assert avg["ExistingDesigner"] < avg["NoDesign"]
+    if workload in ("R1", "S2"):
+        assert avg["CliffGuard"] <= avg["ExistingDesigner"] * 1.05
+    else:
+        assert avg["CliffGuard"] <= avg["ExistingDesigner"] * 1.25

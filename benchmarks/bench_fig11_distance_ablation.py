@@ -1,0 +1,33 @@
+"""Figure 11 — effect of the distance function on CliffGuard (R1).
+
+Paper shape: Euc-latency is best; Euc-separate ≈ Euc-union (SWGO); the
+where/group clauses are the most informative single clauses; the order-by
+clause is the least informative.
+"""
+
+from repro.harness.experiments import run_distance_ablation
+from repro.harness.reporting import format_table
+
+
+def test_fig11_distance_ablation(benchmark, context, emit):
+    results = benchmark.pedantic(
+        run_distance_ablation, args=(context,), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ["Distance metric", "Avg latency (ms)", "Max latency (ms)"],
+            [[label, avg, mx] for label, (avg, mx) in results.items()],
+            title="Figure 11: CliffGuard under different distance metrics (R1)",
+        )
+    )
+    # Every variant produces a functioning designer (non-degenerate costs).
+    for label, (avg, mx) in results.items():
+        assert 0 < avg <= mx, label
+    # The full-union metric must not lose badly to any single-clause one
+    # (the paper's default-choice justification).
+    full = results["Euc-union (SWGO)"][0]
+    single_best = min(
+        results[k][0]
+        for k in ("Euc-union (S)", "Euc-union (W)", "Euc-union (G)", "Euc-union (O)")
+    )
+    assert full <= single_best * 1.3

@@ -1,0 +1,51 @@
+"""Figures 12 and 13 — CliffGuard's neighborhood sample size and iteration
+budget.
+
+Paper shape: ~10 samples already suffice to infer a good descent
+direction; the search converges within ~5 iterations (hence the default).
+"""
+
+from repro.harness.experiments import run_iteration_sweep, run_sample_size_sweep
+from repro.harness.reporting import format_table
+
+
+def test_fig12_sample_size(benchmark, context, emit):
+    results = benchmark.pedantic(
+        run_sample_size_sweep,
+        args=(context,),
+        kwargs={"sample_sizes": (2, 8, 16)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["n (samples)", "Avg latency (ms)", "Max latency (ms)"],
+            [[n, avg, mx] for n, (avg, mx) in sorted(results.items())],
+            title="Figure 12: effect of neighborhood sample size (R1)",
+        )
+    )
+    # More samples never catastrophically hurts; mid-size is adequate.
+    avgs = {n: avg for n, (avg, mx) in results.items()}
+    assert avgs[16] <= avgs[2] * 1.2
+
+
+def test_fig13_iterations(benchmark, context, emit):
+    results = benchmark.pedantic(
+        run_iteration_sweep,
+        args=(context,),
+        kwargs={"iteration_counts": (0, 2, 5, 10)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["iterations", "Avg latency (ms)", "Max latency (ms)"],
+            [[k, avg, mx] for k, (avg, mx) in sorted(results.items())],
+            title="Figure 13: effect of the iteration budget (R1)",
+        )
+    )
+    avgs = {k: avg for k, (avg, mx) in results.items()}
+    # Zero iterations = nominal; a few iterations must not be worse, and
+    # beyond ~5 the curve flattens (paper: converges quickly).
+    assert avgs[5] <= avgs[0] * 1.05
+    assert abs(avgs[10] - avgs[5]) <= max(0.35 * avgs[5], 1.0)

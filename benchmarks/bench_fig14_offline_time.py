@@ -1,0 +1,46 @@
+"""Figure 14 — offline design time per designer vs deployment time.
+
+Paper shape: CliffGuard takes ~5× the nominal designer's time (it calls it
+per iteration); MajorityVote and OptimalLocalSearch pay the neighborhood
+sampling cost; the *deployment* of a design dwarfs all design times, which
+is the paper's argument that robustness is cheap.
+"""
+
+from repro.harness.experiments import run_offline_time
+from repro.harness.reporting import format_table
+
+
+def test_fig14_offline_time(benchmark, context, emit):
+    rows = benchmark.pedantic(
+        run_offline_time,
+        args=(context,),
+        kwargs={
+            "which": [
+                "NoDesign",
+                "ExistingDesigner",
+                "MajorityVoteDesigner",
+                "CliffGuard",
+            ]
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["Designer", "Design time (s)", "Deployment time (s, modeled)"],
+            [[r.designer, r.design_seconds, r.deployment_seconds] for r in rows],
+            title="Figure 14: offline design time vs deployment time",
+        )
+    )
+    by_name = {r.designer: r for r in rows}
+    # CliffGuard costs a small multiple of the nominal designer's time...
+    assert (
+        by_name["CliffGuard"].design_seconds
+        > by_name["ExistingDesigner"].design_seconds
+    )
+    # ...but deployment dominates every designer's offline time.
+    assert (
+        by_name["CliffGuard"].deployment_seconds
+        > 3 * by_name["CliffGuard"].design_seconds
+    )
+    assert by_name["NoDesign"].deployment_seconds == 0.0

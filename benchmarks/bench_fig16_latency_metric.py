@@ -1,0 +1,44 @@
+"""Figure 16 — the latency-aware distance δ_latency at ω = 0.1 and ω = 0.2.
+
+Paper shape: the (δ_latency, latency-ratio) relationship is noisy /
+non-monotonic at ω = 0.1 and becomes (relatively) monotonic at ω = 0.2 —
+the penalty factor matters.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import run_latency_metric_correlation
+from repro.harness.reporting import format_table
+
+
+def spearman(points):
+    xs = np.array([x for x, _ in points])
+    ys = np.array([y for _, y in points])
+    if xs.size < 3:
+        return 0.0
+    rank_x = np.argsort(np.argsort(xs))
+    rank_y = np.argsort(np.argsort(ys))
+    return float(np.corrcoef(rank_x, rank_y)[0, 1])
+
+
+def test_fig16_latency_metric_correlation(benchmark, context, emit):
+    curves = benchmark.pedantic(
+        run_latency_metric_correlation,
+        args=(context,),
+        kwargs={"omegas": (0.1, 0.2), "n_probes": 8},
+        rounds=1,
+        iterations=1,
+    )
+    for omega, points in sorted(curves.items()):
+        emit(
+            format_table(
+                ["δ_latency", "latency ratio W/W0"],
+                [[d, r] for d, r in points],
+                title=f"Figure 16: ω = {omega}",
+            )
+        )
+        emit(f"ω={omega}: Spearman rank correlation = {spearman(points):.3f}")
+    # Both settings must show a positive distance↔decay relationship at
+    # this scale; ω = 0.2 must be at least as monotonic as ω = 0.1.
+    assert spearman(curves[0.2]) > 0.3
+    assert spearman(curves[0.2]) >= spearman(curves[0.1]) - 0.25

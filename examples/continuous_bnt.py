@@ -1,0 +1,61 @@
+"""The geometry of robust optimization: Algorithm 1 on a 2-D surface.
+
+Reproduces the story of the paper's Figures 2–4 on a closed-form cost
+surface: the nominal optimum sits at the bottom of a valley next to a
+cliff; the robust optimum backs the whole Γ-disc away from the cliff.
+Prints the descent trajectory and an ASCII rendering of the surface.
+
+Run:  python examples/continuous_bnt.py
+"""
+
+import numpy as np
+
+from repro.core.bnt import bnt_minimize, find_worst_neighbors
+
+
+def cliff_surface(x: np.ndarray) -> float:
+    """A bowl with a steep wall to the right of x0 = 0.3 (Figure 2's D1)."""
+    a, b = float(x[0]), float(x[1])
+    return 0.5 * a * a + 0.5 * b * b + 40.0 * max(0.0, a - 0.3) ** 2
+
+
+def render_surface() -> str:
+    rows = []
+    for b in np.linspace(1.5, -1.5, 13):
+        row = []
+        for a in np.linspace(-2.0, 2.0, 41):
+            value = cliff_surface(np.array([a, b]))
+            shades = " .:-=+*#%@"
+            row.append(shades[min(int(value / 1.2), len(shades) - 1)])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    gamma = 0.5
+    print("cost surface (darker = more expensive; cliff on the right):\n")
+    print(render_surface())
+
+    nominal = np.zeros(2)  # the bowl's nominal optimum
+    rng = np.random.default_rng(0)
+    _, nominal_worst = find_worst_neighbors(cliff_surface, nominal, gamma, rng)
+    print(f"\nnominal optimum x = (0, 0): cost {cliff_surface(nominal):.3f}, "
+          f"worst case within Γ={gamma}: {nominal_worst:.3f}")
+
+    result = bnt_minimize(cliff_surface, np.array([0.55, 0.8]), gamma=gamma, seed=1)
+    print(f"\nBNT robust search from (0.55, 0.8):")
+    for i, (x, worst) in enumerate(zip(result.history, result.worst_case_history)):
+        print(f"  step {i:2d}: x = ({x[0]: .3f}, {x[1]: .3f})   worst-case = {worst:8.3f}")
+    print(
+        f"\nconverged={result.converged} after {result.iterations} iterations: "
+        f"x* = ({result.x[0]:.3f}, {result.x[1]:.3f}), worst-case {result.worst_case:.3f}"
+    )
+    print(
+        "\nReading: the robust optimum sits to the LEFT of the nominal one —"
+        " far enough that the entire Γ-disc clears the cliff, exactly the"
+        " D1-vs-D2 trade of the paper's Figure 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

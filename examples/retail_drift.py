@@ -1,0 +1,69 @@
+"""Retail analytics under drift: the full designer zoo over six months.
+
+Replays a drifting retail workload window by window, running all six
+designers of the paper's Section 6.1 — NoDesign, the oracle
+FutureKnowingDesigner, the nominal ExistingDesigner, the MajorityVote and
+OptimalLocalSearch heuristics, and CliffGuard — and prints the Figure-7
+style comparison.
+
+Run:  python examples/retail_drift.py            (fast, ~2-4 min)
+      python examples/retail_drift.py --full     (longer trace)
+"""
+
+import sys
+
+from repro.harness.experiments import (
+    DESIGNER_ORDER,
+    ExperimentContext,
+    ExperimentScale,
+    run_designer_comparison,
+)
+from repro.harness.reporting import format_table
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    scale = ExperimentScale(
+        days=364 if full else 196,
+        queries_per_day=25 if full else 15,
+        n_samples=16 if full else 10,
+        max_transitions=None if full else 1,
+        skip_transitions=4,
+    )
+    context = ExperimentContext(scale)
+    print(
+        f"replaying {scale.days} days of retail analytics "
+        f"({scale.queries_per_day} queries/day, 28-day windows)…"
+    )
+
+    outcome = run_designer_comparison(context, "R1", engine="columnar")
+
+    print()
+    print(
+        format_table(
+            ["Designer", "Avg latency (ms)", "Max latency (ms)", "Design time (s)"],
+            [
+                [
+                    name,
+                    outcome.run(name).mean_average_ms,
+                    outcome.run(name).mean_max_ms,
+                    outcome.run(name).mean_design_seconds,
+                ]
+                for name in DESIGNER_ORDER
+            ],
+            title="Designer comparison on the drifting retail workload (R1)",
+        )
+    )
+
+    avg_speedup, max_speedup = outcome.speedup("ExistingDesigner", "CliffGuard")
+    oracle_gap = (
+        outcome.run("CliffGuard").mean_average_ms
+        / outcome.run("FutureKnowingDesigner").mean_average_ms
+    )
+    print()
+    print(f"CliffGuard vs nominal designer: {avg_speedup:.2f}x avg, {max_speedup:.2f}x max")
+    print(f"CliffGuard is {oracle_gap:.1f}x away from the future-knowing oracle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""The robustness knob Γ: trading nominal optimality for robustness.
+
+Sweeps Γ from 0 (purely nominal) to several multiples of the observed
+drift and shows how CliffGuard's next-window latency responds — the
+Section 6.5 experiment (Figures 8–9) as a runnable script.
+
+Run:  python examples/robustness_knob.py
+"""
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    run_designer_comparison,
+    run_gamma_sweep,
+)
+from repro.harness.reporting import format_series, format_table
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        days=196,
+        queries_per_day=15,
+        n_samples=10,
+        max_transitions=1,
+        skip_transitions=4,
+    )
+    context = ExperimentContext(scale)
+    base_gamma = context.default_gamma("R1")
+    print(f"observed average drift between windows: δ ≈ {base_gamma:.5f}")
+
+    gammas = [0.0, 0.5 * base_gamma, base_gamma, 3 * base_gamma, 8 * base_gamma]
+    sweep = run_gamma_sweep(context, "R1", gammas=gammas)
+    nominal = run_designer_comparison(
+        context, "R1", which=["ExistingDesigner"]
+    ).run("ExistingDesigner")
+
+    print()
+    print(
+        format_table(
+            ["Γ (× observed drift)", "Avg latency (ms)", "Max latency (ms)"],
+            [
+                [f"{gamma / base_gamma:.1f}x" if base_gamma else "0", avg, mx]
+                for gamma, (avg, mx) in sorted(sweep.items())
+            ]
+            + [["nominal designer", nominal.mean_average_ms, nominal.mean_max_ms]],
+            title="Effect of the robustness knob (workload R1)",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "Γ multiple",
+            "avg latency",
+            [
+                (f"{gamma / base_gamma:.1f}x", avg)
+                for gamma, (avg, mx) in sorted(sweep.items())
+            ],
+        )
+    )
+    print()
+    print(
+        "Reading: Γ = 0 reproduces the nominal design; moderate Γ buys"
+        " robustness against drift; an extreme Γ is conservative but —"
+        " per the paper's Section 6.5 — never much worse than nominal,"
+        " because the moved workload always keeps the original queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""CliffGuard: a principled framework for finding robust database designs.
+
+A full reproduction of Mozafari, Goh, Yoon (SIGMOD 2015), including the
+substrates the paper ran on: a columnar engine with Vertica-style
+projections, a DBMS-X-style row store with indices and materialized views,
+nominal designers for both, the workload distance metrics and
+Γ-neighborhood sampler, the CliffGuard robust designer, the baseline
+designers of Section 6.1, and a replay harness regenerating every table
+and figure of the evaluation.
+
+Quick start::
+
+    from repro import (
+        build_star_schema, r1_profile, TraceGenerator, split_windows,
+        ColumnarCostModel, ColumnarAdapter, ColumnarNominalDesigner,
+        WorkloadDistance, NeighborhoodSampler, CliffGuard,
+    )
+
+    schema, roles = build_star_schema()
+    trace = TraceGenerator(schema, roles, r1_profile(), seed=1).generate(90)
+    windows = split_windows(trace, 28)
+
+    adapter = ColumnarAdapter(ColumnarCostModel(schema))
+    nominal = ColumnarNominalDesigner(adapter)
+    distance = WorkloadDistance(schema.total_columns)
+    sampler = NeighborhoodSampler(distance, schema)
+
+    robust = CliffGuard(nominal, adapter, sampler, gamma=0.001)
+    design = robust.design(windows[0])
+"""
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema, Table
+from repro.core import CliffGuard, bnt_minimize, gamma_from_history, move_workload
+from repro.designers import (
+    ColumnarAdapter,
+    ColumnarNominalDesigner,
+    FutureKnowingDesigner,
+    MajorityVoteDesigner,
+    NoDesign,
+    OptimalLocalSearchDesigner,
+    RowstoreAdapter,
+    RowstoreNominalDesigner,
+    SamplesAdapter,
+    SamplesNominalDesigner,
+    default_budget_bytes,
+)
+from repro.engine import (
+    ColumnarCostModel,
+    ColumnarDatabase,
+    ColumnarExecutor,
+    PhysicalDesign,
+    Projection,
+    SortColumn,
+)
+from repro.harness import replay
+from repro.rowstore import (
+    Index,
+    MaterializedView,
+    RowstoreCostModel,
+    RowstoreDatabase,
+    RowstoreDesign,
+    RowstoreExecutor,
+)
+from repro.samples import SampleDesign, SamplesCostModel, StratifiedSample
+from repro.workload import (
+    NeighborhoodSampler,
+    TraceGenerator,
+    Workload,
+    WorkloadDistance,
+    WorkloadQuery,
+    build_star_schema,
+    delta_euclidean,
+    r1_profile,
+    s1_profile,
+    s2_profile,
+    split_windows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CliffGuard",
+    "Column",
+    "ColumnType",
+    "ColumnarAdapter",
+    "ColumnarCostModel",
+    "ColumnarDatabase",
+    "ColumnarExecutor",
+    "ColumnarNominalDesigner",
+    "ForeignKey",
+    "FutureKnowingDesigner",
+    "Index",
+    "MajorityVoteDesigner",
+    "MaterializedView",
+    "NeighborhoodSampler",
+    "NoDesign",
+    "OptimalLocalSearchDesigner",
+    "PhysicalDesign",
+    "Projection",
+    "RowstoreAdapter",
+    "RowstoreCostModel",
+    "RowstoreDatabase",
+    "RowstoreDesign",
+    "RowstoreExecutor",
+    "RowstoreNominalDesigner",
+    "SampleDesign",
+    "SamplesAdapter",
+    "SamplesCostModel",
+    "SamplesNominalDesigner",
+    "Schema",
+    "StratifiedSample",
+    "SortColumn",
+    "Table",
+    "TraceGenerator",
+    "Workload",
+    "WorkloadDistance",
+    "WorkloadQuery",
+    "bnt_minimize",
+    "build_star_schema",
+    "default_budget_bytes",
+    "delta_euclidean",
+    "gamma_from_history",
+    "move_workload",
+    "r1_profile",
+    "replay",
+    "s1_profile",
+    "s2_profile",
+    "split_windows",
+]

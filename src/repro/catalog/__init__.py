@@ -1,0 +1,23 @@
+"""Catalog substrate: schema metadata, column statistics, and data generation.
+
+* :mod:`repro.catalog.types` — column types,
+* :mod:`repro.catalog.schema` — tables, columns, foreign keys, resolution,
+* :mod:`repro.catalog.statistics` — per-column statistics used by the
+  what-if cost models (NDV, min/max, histograms, selectivity estimation),
+* :mod:`repro.catalog.datagen` — seeded synthetic data matching the declared
+  statistics, for real execution in tests and examples.
+"""
+
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.catalog.types import ColumnType
+
+__all__ = [
+    "Column",
+    "ColumnStatistics",
+    "ColumnType",
+    "ForeignKey",
+    "Schema",
+    "Table",
+    "TableStatistics",
+]

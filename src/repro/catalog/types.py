@@ -1,0 +1,59 @@
+"""Column types for the catalog.
+
+Types are deliberately coarse: the cost models only need a per-cell byte
+width and to know whether a column is orderable, and the data generator only
+needs to know what kind of values to draw.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Logical column type."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"  # stored as days since an epoch (int64)
+    BOOL = "bool"
+
+    @property
+    def byte_width(self) -> int:
+        """Approximate storage width of one cell, in bytes.
+
+        Strings are dictionary-encoded in the columnar engine, so their
+        effective width is a code word plus amortized dictionary cost.
+        """
+        widths = {
+            ColumnType.INT: 8,
+            ColumnType.FLOAT: 8,
+            ColumnType.STRING: 16,
+            ColumnType.DATE: 8,
+            ColumnType.BOOL: 1,
+        }
+        return widths[self]
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store this column's values.
+
+        Strings are stored as int64 dictionary codes; the dictionary itself
+        lives beside the column in :class:`repro.engine.storage.ColumnData`.
+        """
+        dtypes = {
+            ColumnType.INT: np.dtype(np.int64),
+            ColumnType.FLOAT: np.dtype(np.float64),
+            ColumnType.STRING: np.dtype(np.int64),
+            ColumnType.DATE: np.dtype(np.int64),
+            ColumnType.BOOL: np.dtype(np.bool_),
+        }
+        return dtypes[self]
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether range predicates and sort orders make sense."""
+        return self is not ColumnType.BOOL

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — print the schema/workload configuration at a given scale,
+* ``drift`` — Table-1-style drift statistics for R1/S1/S2,
+* ``design`` — run one designer on one window and print the design,
+* ``compare`` — the Figure-7-style designer comparison,
+* ``gamma`` — the Figure-8/9 robustness-knob sweep.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import (
+    DESIGNER_ORDER,
+    ExperimentContext,
+    ExperimentScale,
+    build_designers,
+    run_designer_comparison,
+    run_gamma_sweep,
+    run_table1,
+)
+from repro.harness.reporting import format_table
+
+WORKLOADS = ("R1", "S1", "S2")
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--days", type=int, default=196, help="trace length in days")
+    parser.add_argument(
+        "--queries-per-day", type=int, default=15, help="workload intensity"
+    )
+    parser.add_argument("--window-days", type=int, default=28, help="window size")
+    parser.add_argument("--samples", type=int, default=10, help="CliffGuard n")
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--transitions", type=int, default=1, help="evaluated window transitions"
+    )
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    scale = ExperimentScale(
+        days=args.days,
+        window_days=args.window_days,
+        queries_per_day=args.queries_per_day,
+        n_samples=args.samples,
+        seed=args.seed,
+        max_transitions=args.transitions,
+        skip_transitions=max(0, args.days // args.window_days - 1 - args.transitions),
+    )
+    return ExperimentContext(scale)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    context = _context(args)
+    schema = context.schema
+    windows = context.trace_windows(args.workload)
+    print(f"schema: {len(schema.tables)} tables, {schema.total_columns} columns")
+    print(
+        f"workload {args.workload}: {len(context.trace(args.workload))} queries, "
+        f"{len(windows)} windows of {args.window_days} days"
+    )
+    print(f"default Γ (avg past drift): {context.default_gamma(args.workload):.6f}")
+    return 0
+
+
+def cmd_drift(args: argparse.Namespace) -> int:
+    context = _context(args)
+    rows = run_table1(context)
+    print(
+        format_table(
+            ["Workload", "Min δ", "Max δ", "Avg δ", "Std δ"],
+            [[r.workload, r.minimum, r.maximum, r.average, r.std] for r in rows],
+            title="Drift between consecutive windows (Table 1)",
+        )
+    )
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    context = _context(args)
+    if args.engine == "columnar":
+        adapter = context.columnar_adapter()
+        from repro.designers.columnar_nominal import ColumnarNominalDesigner
+
+        nominal = ColumnarNominalDesigner(adapter)
+    else:
+        adapter = context.rowstore_adapter()
+        from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+
+        nominal = RowstoreNominalDesigner(adapter)
+    gamma = context.default_gamma(args.workload)
+    designers, samplers = build_designers(
+        context, adapter, nominal, gamma, which=[args.designer]
+    )
+    windows = context.trace_windows(args.workload)
+    index = min(len(windows) - 2, max(0, len(windows) - 1 - args.transitions))
+    window = windows[index]
+    for sampler in samplers:
+        sampler.set_pool(
+            [
+                q
+                for q in context.trace(args.workload)
+                if q.timestamp < window.span_days[0]
+            ]
+        )
+    design = designers[args.designer].design(window)
+    structures = adapter.structures(design)
+    print(
+        f"{args.designer} produced {len(structures)} structures "
+        f"({adapter.design_price(design) / 1e9:.2f} GB):"
+    )
+    for structure in structures[: args.limit]:
+        print("  " + structure.to_sql())
+    if len(structures) > args.limit:
+        print(f"  … and {len(structures) - args.limit} more (raise --limit)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    context = _context(args)
+    outcome = run_designer_comparison(context, args.workload, engine=args.engine)
+    print(
+        format_table(
+            ["Designer", "Avg latency (ms)", "Max latency (ms)"],
+            [
+                [
+                    name,
+                    outcome.run(name).mean_average_ms,
+                    outcome.run(name).mean_max_ms,
+                ]
+                for name in DESIGNER_ORDER
+                if name in outcome.runs
+            ],
+            title=f"Designer comparison: {args.workload} on the {args.engine} engine",
+        )
+    )
+    return 0
+
+
+def cmd_gamma(args: argparse.Namespace) -> int:
+    context = _context(args)
+    base = context.default_gamma(args.workload)
+    gammas = [m * base for m in (0.0, 0.5, 1.0, 2.0, 6.0)]
+    sweep = run_gamma_sweep(context, args.workload, gammas=gammas)
+    print(
+        format_table(
+            ["Γ", "Avg latency (ms)", "Max latency (ms)"],
+            [[f"{g:.5f}", avg, mx] for g, (avg, mx) in sorted(sweep.items())],
+            title=f"Robustness-knob sweep on {args.workload} (Figures 8–9)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CliffGuard reproduction: robust database designs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, extras in (
+        ("info", cmd_info, ()),
+        ("drift", cmd_drift, ()),
+        ("design", cmd_design, ("engine", "designer", "limit")),
+        ("compare", cmd_compare, ("engine",)),
+        ("gamma", cmd_gamma, ()),
+    ):
+        sub = subparsers.add_parser(name)
+        _add_scale_arguments(sub)
+        sub.add_argument(
+            "--workload", choices=WORKLOADS, default="R1", help="trace profile"
+        )
+        if "engine" in extras:
+            sub.add_argument(
+                "--engine", choices=("columnar", "rowstore"), default="columnar"
+            )
+        if "designer" in extras:
+            sub.add_argument(
+                "--designer", choices=DESIGNER_ORDER, default="CliffGuard"
+            )
+        if "limit" in extras:
+            sub.add_argument("--limit", type=int, default=10)
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: CliffGuard and its building blocks.
+
+* :mod:`repro.core.bnt` — Algorithm 1: the generic Bertsimas–Nohadani–Teo
+  robust local search for continuous decision spaces (used to validate the
+  framework on closed-form surfaces, Figures 3–4),
+* :mod:`repro.core.move` — Algorithm 3: ``MoveWorkload``,
+* :mod:`repro.core.cliffguard` — Algorithm 2: the CliffGuard designer,
+* :mod:`repro.core.knob` — helpers for choosing the robustness knob Γ.
+"""
+
+from repro.core.bnt import BNTResult, bnt_minimize
+from repro.core.cliffguard import CliffGuard, CliffGuardReport
+from repro.core.knob import gamma_from_history
+from repro.core.move import move_workload
+
+__all__ = [
+    "BNTResult",
+    "CliffGuard",
+    "CliffGuardReport",
+    "bnt_minimize",
+    "gamma_from_history",
+    "move_workload",
+]

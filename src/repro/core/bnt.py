@@ -1,0 +1,203 @@
+"""Algorithm 1: the generic Bertsimas–Nohadani–Teo robust local search.
+
+This is the continuous-space algorithm CliffGuard adapts (Section 4.1).
+It is included both as executable documentation of the framework and to
+validate the geometric machinery on closed-form non-convex surfaces (the
+Figures 3–4 story; see ``benchmarks/bench_bnt_continuous.py``).
+
+Each iteration:
+
+1. **Neighborhood exploration** — find the worst neighbors: the (near-)
+   maximal points of ``f`` within the Γ-ball around the current ``x``.
+2. **Robust local move** — find a *descent direction* pointing away from
+   every worst neighbor.  Geometrically (Figure 3), such a direction exists
+   iff the origin is **not** in the convex hull of the normalized offset
+   vectors ``u_i = Δx_i / ‖Δx_i‖``; when it exists, the steepest choice is
+   the negated min-norm point of that hull.  When the origin is inside the
+   hull, no direction moves away from all worst neighbors simultaneously —
+   a local robust optimum (Figure 3(b)).
+3. Take a step along the direction, shrinking the step until the sampled
+   worst-case cost improves (backtracking line search).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize
+
+#: Neighbors within this relative margin of the maximum are "worst".
+WORST_MARGIN = 0.02
+#: ‖min-norm point‖ below this means the origin is in the hull.
+HULL_TOLERANCE = 1e-6
+
+
+@dataclass
+class BNTResult:
+    """Outcome of a :func:`bnt_minimize` run."""
+
+    x: np.ndarray
+    worst_case: float
+    iterations: int
+    converged: bool
+    history: list[np.ndarray] = field(default_factory=list)
+    worst_case_history: list[float] = field(default_factory=list)
+
+
+def sample_ball(
+    center: np.ndarray, radius: float, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform samples in the closed ball (plus boundary axis points)."""
+    dim = center.shape[0]
+    directions = rng.normal(size=(count, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    radii = radius * rng.uniform(0.0, 1.0, size=(count, 1)) ** (1.0 / dim)
+    points = center + directions / norms * radii
+    boundary = np.concatenate([np.eye(dim), -np.eye(dim)]) * radius + center
+    return np.concatenate([points, boundary, center[None, :]])
+
+
+def find_worst_neighbors(
+    f: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    gamma: float,
+    rng: np.random.Generator,
+    n_candidates: int = 96,
+    margin: float = WORST_MARGIN,
+) -> tuple[np.ndarray, float]:
+    """Offsets ``Δx`` of the near-maximal points in the Γ-ball, and the max.
+
+    Like CliffGuard's database instantiation, the inner maximization is
+    sampled (the cost function need not be differentiable); the returned
+    set includes every sampled point within ``margin`` of the maximum,
+    which is BNT's guard against picking a single biased extreme.
+    """
+    points = sample_ball(x, gamma, n_candidates, rng)
+    values = np.array([f(p) for p in points])
+    worst = float(values.max())
+    baseline = f(x)
+    spread = max(worst - baseline, abs(worst) * margin, 1e-12)
+    threshold = worst - margin * spread
+    mask = values >= threshold
+    offsets = points[mask] - x
+    # Drop the center itself (zero offset carries no direction).
+    norms = np.linalg.norm(offsets, axis=1)
+    offsets = offsets[norms > 1e-12]
+    return offsets, worst
+
+
+def min_norm_point(vectors: np.ndarray) -> np.ndarray:
+    """The minimum-norm point of the convex hull of row ``vectors``.
+
+    Solved as a small QP over the simplex (SLSQP); exact enough for the
+    ≤ a-few-dozen worst neighbors each iteration produces.
+    """
+    count = vectors.shape[0]
+    if count == 1:
+        return vectors[0]
+    gram = vectors @ vectors.T
+
+    def objective(lam: np.ndarray) -> float:
+        return float(lam @ gram @ lam)
+
+    def gradient(lam: np.ndarray) -> np.ndarray:
+        return 2.0 * gram @ lam
+
+    initial = np.full(count, 1.0 / count)
+    result = minimize(
+        objective,
+        initial,
+        jac=gradient,
+        method="SLSQP",
+        bounds=[(0.0, 1.0)] * count,
+        constraints=[{"type": "eq", "fun": lambda lam: lam.sum() - 1.0}],
+        options={"maxiter": 200, "ftol": 1e-12},
+    )
+    lam = result.x if result.success else initial
+    lam = np.clip(lam, 0.0, None)
+    total = lam.sum()
+    if total > 0:
+        lam /= total
+    return vectors.T @ lam
+
+
+def descent_direction(offsets: np.ndarray) -> np.ndarray | None:
+    """The direction pointing away from all worst neighbors, or ``None``.
+
+    ``None`` signals the Figure 3(b) situation: the origin lies in the
+    convex hull of the normalized offsets, so every direction approaches
+    some worst neighbor — a local robust optimum.
+    """
+    if offsets.size == 0:
+        return None
+    norms = np.linalg.norm(offsets, axis=1, keepdims=True)
+    normalized = offsets / norms
+    z = min_norm_point(normalized)
+    magnitude = float(np.linalg.norm(z))
+    if magnitude < HULL_TOLERANCE:
+        return None
+    return -z / magnitude
+
+
+def bnt_minimize(
+    f: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    gamma: float,
+    max_iterations: int = 60,
+    initial_step: float | None = None,
+    n_candidates: int = 96,
+    seed: int = 0,
+) -> BNTResult:
+    """Minimize the worst-case cost ``max_{‖Δx‖≤Γ} f(x + Δx)`` locally.
+
+    The step size is adaptive backtracking line search (the same
+    grow-on-success / halve-on-failure scheme CliffGuard uses for ``α``):
+    a step is only taken when it reduces the sampled worst-case cost, it
+    grows after successes so distant starts converge quickly, and the run
+    stops when no descent direction exists (the Figure 3(b) condition) or
+    no step of any size improves.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x0, dtype=np.float64).copy()
+    step = initial_step if initial_step is not None else gamma
+    offsets, worst = find_worst_neighbors(f, x, gamma, rng, n_candidates)
+    result = BNTResult(
+        x=x.copy(),
+        worst_case=worst,
+        iterations=0,
+        converged=False,
+        history=[x.copy()],
+        worst_case_history=[worst],
+    )
+
+    for k in range(1, max_iterations + 1):
+        result.iterations = k
+        direction = descent_direction(offsets)
+        if direction is None:
+            result.converged = True
+            break
+        moved = False
+        trial = step
+        for _ in range(10):  # backtracking
+            candidate = x + trial * direction
+            new_offsets, new_worst = find_worst_neighbors(
+                f, candidate, gamma, rng, n_candidates
+            )
+            if new_worst < worst:
+                x, offsets, worst = candidate, new_offsets, new_worst
+                step = min(trial * 1.8, 16.0 * gamma)  # grow on success
+                moved = True
+                break
+            trial *= 0.5
+        result.history.append(x.copy())
+        result.worst_case_history.append(worst)
+        if not moved:
+            result.converged = True
+            break
+
+    result.x = x
+    result.worst_case = worst
+    return result

@@ -1,0 +1,163 @@
+"""Algorithm 2: the CliffGuard robust designer.
+
+CliffGuard wraps an existing (nominal) designer — a black box — and
+iterates:
+
+1. **Neighborhood exploration**: evaluate the current design on ``n``
+   perturbed workloads sampled in the Γ-neighborhood of ``W0``; the most
+   expensive ones are the worst neighbors.  Following Section 4.3, the
+   selection is loosened from the strict max to a top fraction to mitigate
+   finite-sample bias; the default uses the whole neighborhood (every
+   sample informs the move), and the ablation benches sweep the fraction.
+2. **Robust local move**: build ``W_moved`` (Algorithm 3) and ask the
+   nominal designer for its design.  Accept it only when it improves the
+   worst-case cost over the sampled neighborhood; adapt the step size with
+   backtracking line search (``α ← α·λ_success`` on success,
+   ``α ← α·λ_failure`` on failure).
+3. Stop after ``max_iterations`` or when improvement stalls.
+
+Defaults mirror the paper's Section 6.1: ``n = 20`` samples, 5 iterations,
+``λ_success = 5``, ``λ_failure = 0.5``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.designers.base import DesignAdapter, Designer
+from repro.workload.sampler import NeighborhoodSampler
+from repro.workload.workload import Workload
+
+
+@dataclass
+class CliffGuardReport:
+    """Trace of one CliffGuard run (useful for the ablation benches)."""
+
+    iterations: int = 0
+    accepted_moves: int = 0
+    worst_case_history: list[float] = field(default_factory=list)
+    alpha_history: list[float] = field(default_factory=list)
+    designer_calls: int = 0
+
+
+class CliffGuard(Designer):
+    """The robust designer (paper Algorithm 2)."""
+
+    name = "CliffGuard"
+
+    def __init__(
+        self,
+        nominal: Designer,
+        adapter: DesignAdapter,
+        sampler: NeighborhoodSampler,
+        gamma: float,
+        n_samples: int = 20,
+        max_iterations: int = 5,
+        initial_alpha: float = 1.0,
+        lambda_success: float = 5.0,
+        lambda_failure: float = 0.5,
+        worst_fraction: float = 1.0,
+        min_worst: int = 1,
+        patience: int | None = None,
+        include_base_in_neighborhood: bool = True,
+        keep_base_in_move: bool = True,
+    ):
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if not 0 < worst_fraction <= 1:
+            raise ValueError("worst_fraction must be in (0, 1]")
+        if lambda_success <= 1:
+            raise ValueError("lambda_success must exceed 1")
+        if not 0 < lambda_failure < 1:
+            raise ValueError("lambda_failure must be in (0, 1)")
+        self.nominal = nominal
+        self.adapter = adapter
+        self.sampler = sampler
+        self.gamma = gamma
+        self.n_samples = n_samples
+        self.max_iterations = max_iterations
+        self.initial_alpha = initial_alpha
+        self.lambda_success = lambda_success
+        self.lambda_failure = lambda_failure
+        self.worst_fraction = worst_fraction
+        self.min_worst = min_worst
+        self.patience = patience
+        self.include_base_in_neighborhood = include_base_in_neighborhood
+        self.keep_base_in_move = keep_base_in_move
+        self.last_report: CliffGuardReport | None = None
+
+    # -- neighborhood machinery ----------------------------------------------------
+
+    def _neighborhood_costs(
+        self, neighborhood: list[Workload], design
+    ) -> list[float]:
+        """f(W_i, D) for every sampled neighbor (average latency)."""
+        return [
+            self.adapter.workload_cost(neighbor, design).average_ms
+            for neighbor in neighborhood
+        ]
+
+    def _worst_neighbors(
+        self, neighborhood: list[Workload], costs: list[float]
+    ) -> list[Workload]:
+        """Top-fraction most expensive neighbors (Section 4.3's loosened
+        selection — strict max would inherit finite-sample bias)."""
+        k = max(self.min_worst, math.ceil(len(neighborhood) * self.worst_fraction))
+        ranked = sorted(range(len(neighborhood)), key=lambda i: -costs[i])
+        return [neighborhood[i] for i in ranked[:k]]
+
+    # -- the designer -------------------------------------------------------------------
+
+    def design(self, workload: Workload):
+        """Run Algorithm 2 and return the robust design."""
+        from repro.core.move import move_workload
+
+        report = CliffGuardReport()
+        self.last_report = report
+
+        design = self.nominal.design(workload)  # Line 1: initial nominal design
+        report.designer_calls += 1
+        if self.gamma == 0 or self.max_iterations == 0 or not workload:
+            # Γ = 0 degenerates to the nominal design by definition.
+            return design
+
+        neighborhood = self.sampler.sample(workload, self.gamma, self.n_samples)
+        if self.include_base_in_neighborhood:
+            neighborhood = [workload] + neighborhood
+
+        costs = self._neighborhood_costs(neighborhood, design)
+        worst_case = max(costs) if costs else 0.0
+        report.worst_case_history.append(worst_case)
+
+        alpha = self.initial_alpha
+        stale = 0
+        for _ in range(self.max_iterations):
+            report.iterations += 1
+            report.alpha_history.append(alpha)
+            worst = self._worst_neighbors(neighborhood, costs)
+            moved = move_workload(
+                workload,
+                worst,
+                cost=lambda sql: self.adapter.query_cost(sql, design),
+                alpha=alpha,
+                keep_base=self.keep_base_in_move,
+            )
+            candidate = self.nominal.design(moved)
+            report.designer_calls += 1
+            candidate_costs = self._neighborhood_costs(neighborhood, candidate)
+            candidate_worst = max(candidate_costs) if candidate_costs else 0.0
+            if candidate_worst < worst_case:
+                design = candidate
+                costs = candidate_costs
+                worst_case = candidate_worst
+                alpha *= self.lambda_success
+                report.accepted_moves += 1
+                stale = 0
+            else:
+                alpha *= self.lambda_failure
+                stale += 1
+                if self.patience is not None and stale >= self.patience:
+                    break
+            report.worst_case_history.append(worst_case)
+        return design

@@ -1,0 +1,62 @@
+"""Helpers for choosing the robustness knob Γ.
+
+The paper is explicit that Γ is a *business decision*, not a prediction
+(Section 3).  Still, it sketches the simple strategies a user might apply
+to the observed drift history ``δ(W0,W1), δ(W1,W2), …`` — average, max, or
+``k × max`` — plus optional forecasting.  These helpers implement them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.workload.workload import Workload
+
+
+def drift_history(
+    windows: Sequence[Workload],
+    distance: Callable[[Workload, Workload], float],
+) -> list[float]:
+    """``δ(W_i, W_{i+1})`` for every consecutive window pair."""
+    return [distance(windows[i], windows[i + 1]) for i in range(len(windows) - 1)]
+
+
+def gamma_from_history(
+    distances: Sequence[float],
+    strategy: str = "avg",
+    k: float = 1.5,
+) -> float:
+    """Pick Γ from a drift history.
+
+    ``strategy`` is one of:
+
+    * ``"avg"`` — the mean past drift,
+    * ``"max"`` — the worst past drift,
+    * ``"kmax"`` — ``k`` times the worst past drift (``k > 1``: guard
+      beyond anything seen, the paper's "3× peak load" analogy),
+    * ``"forecast"`` — a damped linear extrapolation of the recent trend
+      (the paper's nod to time-series forecasting).
+    """
+    if not distances:
+        return 0.0
+    values = np.asarray(distances, dtype=np.float64)
+    if strategy == "avg":
+        return float(values.mean())
+    if strategy == "max":
+        return float(values.max())
+    if strategy == "kmax":
+        if k <= 1:
+            raise ValueError("kmax requires k > 1")
+        return float(values.max() * k)
+    if strategy == "forecast":
+        if values.size == 1:
+            return float(values[0])
+        x = np.arange(values.size, dtype=np.float64)
+        slope, intercept = np.polyfit(x, values, 1)
+        predicted = intercept + slope * values.size
+        # Damp toward the mean and never forecast below zero.
+        damped = 0.5 * predicted + 0.5 * float(values.mean())
+        return max(0.0, float(damped))
+    raise ValueError(f"unknown strategy {strategy!r}")

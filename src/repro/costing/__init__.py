@@ -1,0 +1,11 @@
+"""Engine-agnostic costing infrastructure.
+
+Both the columnar engine and the row store price queries from the same
+parsed, schema-resolved, selectivity-annotated :class:`QueryProfile`; only
+the translation from profile to milliseconds differs per engine.
+"""
+
+from repro.costing.profile import QueryProfile, QueryProfiler, TableAccess
+from repro.costing.report import WorkloadCostReport
+
+__all__ = ["QueryProfile", "QueryProfiler", "TableAccess", "WorkloadCostReport"]

@@ -1,0 +1,254 @@
+"""Query profiles: parsed, schema-resolved, selectivity-annotated queries.
+
+A profile is pure data.  Costing a profile against a candidate structure is
+plain arithmetic, which is what keeps designer search loops (thousands of
+query × structure evaluations) fast enough for the robust-design search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Schema, SchemaError
+from repro.catalog.statistics import TableStatistics
+from repro.sql.ast import (
+    Aggregate,
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    PredicateType,
+    SelectStatement,
+)
+from repro.sql.parser import parse
+
+
+def resolve_column(
+    schema: Schema, ref: ColumnRef, default_table: str
+) -> tuple[str, str] | None:
+    """Resolve a column reference to ``(table, bare_name)``.
+
+    Qualified names resolve directly; bare names prefer the query's anchor
+    table, then fall back to a unique owner anywhere in the schema.  Returns
+    ``None`` for columns the schema does not know (stale workload queries
+    must not crash the designers — the paper's real trace had exactly this:
+    only 15.5K of its 430K queries conformed to the latest schema).
+    """
+    if ref.table is not None:
+        if ref.table not in schema.tables:
+            return None
+        if not schema.table(ref.table).has_column(ref.name):
+            return None
+        return ref.table, ref.name
+    table = schema.tables.get(default_table)
+    if table is not None and table.has_column(ref.name):
+        return default_table, ref.name
+    try:
+        owner, column = schema.resolve(ref.name)
+    except SchemaError:
+        return None
+    return owner.name, column.name
+
+
+@dataclass(frozen=True)
+class TableAccess:
+    """Everything a cost model needs about one table's role in a query."""
+
+    table: str
+    row_count: int
+    #: Bare names of the referenced columns that exist in the table.
+    needed_columns: frozenset[str]
+    #: Bytes per row to read the needed columns (columnar read width).
+    needed_bytes: int
+    #: Bytes per full row of the table (row-store read width).
+    row_bytes: int
+    #: column -> selectivity for equality-like predicates (=, IN).
+    eq_selectivity: tuple[tuple[str, float], ...]
+    #: column -> selectivity for range-like predicates (<, BETWEEN, ...).
+    range_selectivity: tuple[tuple[str, float], ...]
+    #: Combined selectivity of the full conjunction on this table.
+    total_selectivity: float
+    #: Number of predicates on this table.
+    predicate_count: int
+
+    @property
+    def eq_map(self) -> dict[str, float]:
+        return dict(self.eq_selectivity)
+
+    @property
+    def range_map(self) -> dict[str, float]:
+        return dict(self.range_selectivity)
+
+    @property
+    def predicate_columns(self) -> frozenset[str]:
+        """All columns carrying a predicate on this table."""
+        return frozenset(name for name, _ in self.eq_selectivity) | frozenset(
+            name for name, _ in self.range_selectivity
+        )
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in the select list, resolved to a bare anchor column."""
+
+    func: str
+    column: str | None  # None means COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """A fully annotated query, ready to be priced by any engine."""
+
+    sql: str
+    anchor: TableAccess
+    dimensions: tuple[TableAccess, ...]
+    group_by: tuple[str, ...]  # bare names on the anchor table
+    order_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    #: Bare anchor-column names appearing as plain select items.
+    select_columns: tuple[str, ...]
+    limit: int | None
+    group_cardinality: int
+
+    @property
+    def has_aggregates(self) -> bool:
+        return bool(self.aggregates)
+
+    @property
+    def tables(self) -> tuple[TableAccess, ...]:
+        return (self.anchor, *self.dimensions)
+
+
+class QueryProfiler:
+    """Builds and caches :class:`QueryProfile` objects for one schema."""
+
+    def __init__(self, schema: Schema, statistics: dict[str, TableStatistics]):
+        self.schema = schema
+        self.statistics = statistics
+        self._profiles: dict[str, QueryProfile] = {}
+
+    def profile(self, sql: str) -> QueryProfile:
+        """Parse and annotate ``sql`` (cached by exact text)."""
+        cached = self._profiles.get(sql)
+        if cached is not None:
+            return cached
+        profile = self._build(sql, parse(sql))
+        self._profiles[sql] = profile
+        return profile
+
+    def _build(self, sql: str, stmt: SelectStatement) -> QueryProfile:
+        anchor_name = stmt.table
+        if anchor_name not in self.schema.tables:
+            raise SchemaError(f"query references unknown table {anchor_name!r}")
+        table_names = [anchor_name] + [
+            j.table for j in stmt.joins if j.table in self.schema.tables
+        ]
+
+        needed: dict[str, set[str]] = {name: set() for name in table_names}
+        predicates: dict[str, list[PredicateType]] = {name: [] for name in table_names}
+
+        def note_column(ref: ColumnRef) -> tuple[str, str] | None:
+            resolved = resolve_column(self.schema, ref, anchor_name)
+            if resolved is not None and resolved[0] in needed:
+                needed[resolved[0]].add(resolved[1])
+                return resolved
+            return None
+
+        aggregates: list[AggregateSpec] = []
+        select_columns: list[str] = []
+        if stmt.select_star:
+            for name in table_names:
+                needed[name].update(self.schema.table(name).column_names)
+        for item in stmt.select:
+            if isinstance(item.expr, Aggregate):
+                agg = item.expr
+                column_name: str | None = None
+                if agg.column is not None:
+                    resolved = note_column(agg.column)
+                    if resolved is not None and resolved[0] == anchor_name:
+                        column_name = resolved[1]
+                aggregates.append(
+                    AggregateSpec(func=agg.func, column=column_name, distinct=agg.distinct)
+                )
+            else:
+                resolved = note_column(item.expr)
+                if resolved is not None and resolved[0] == anchor_name:
+                    select_columns.append(resolved[1])
+        for join in stmt.joins:
+            note_column(join.left)
+            note_column(join.right)
+        for pred in stmt.where:
+            resolved = resolve_column(self.schema, pred.column, anchor_name)
+            if resolved is not None and resolved[0] in needed:
+                needed[resolved[0]].add(resolved[1])
+                predicates[resolved[0]].append(pred)
+
+        group_by: list[str] = []
+        for col in stmt.group_by:
+            resolved = note_column(col)
+            if resolved is not None and resolved[0] == anchor_name:
+                group_by.append(resolved[1])
+        order_by: list[str] = []
+        for item in stmt.order_by:
+            resolved = note_column(item.column)
+            if resolved is not None and resolved[0] == anchor_name:
+                order_by.append(resolved[1])
+
+        anchor = self._build_access(anchor_name, needed[anchor_name], predicates[anchor_name])
+        dims = tuple(
+            self._build_access(name, needed[name], predicates[name])
+            for name in table_names[1:]
+        )
+
+        group_cardinality = 1
+        stats = self.statistics[anchor_name]
+        for col in group_by:
+            if col in stats.columns:
+                group_cardinality *= max(1, stats.columns[col].ndv)
+            group_cardinality = min(group_cardinality, anchor.row_count)
+
+        return QueryProfile(
+            sql=sql,
+            anchor=anchor,
+            dimensions=dims,
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            aggregates=tuple(aggregates),
+            select_columns=tuple(select_columns),
+            limit=stmt.limit,
+            group_cardinality=group_cardinality,
+        )
+
+    def _build_access(
+        self, table_name: str, columns: set[str], preds: list[PredicateType]
+    ) -> TableAccess:
+        table = self.schema.table(table_name)
+        stats = self.statistics[table_name]
+        eq: list[tuple[str, float]] = []
+        rng: list[tuple[str, float]] = []
+        for pred in preds:
+            selectivity = stats.predicate_selectivity(pred)
+            name = pred.column.name
+            if isinstance(pred, ComparisonPredicate) and pred.op == "=":
+                eq.append((name, selectivity))
+            elif isinstance(pred, InPredicate):
+                eq.append((name, selectivity))
+            elif isinstance(pred, (ComparisonPredicate, BetweenPredicate)):
+                rng.append((name, selectivity))
+            else:
+                rng.append((name, selectivity))
+        needed_bytes = sum(
+            table.column(c).type.byte_width for c in columns if table.has_column(c)
+        )
+        return TableAccess(
+            table=table_name,
+            row_count=stats.row_count,
+            needed_columns=frozenset(columns),
+            needed_bytes=max(needed_bytes, 1),
+            row_bytes=max(table.row_bytes, 1),
+            eq_selectivity=tuple(sorted(eq)),
+            range_selectivity=tuple(sorted(rng)),
+            total_selectivity=stats.conjunction_selectivity(tuple(preds)),
+            predicate_count=len(preds),
+        )

@@ -1,0 +1,37 @@
+"""Aggregate latency reports shared by both engines' cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkloadCostReport:
+    """Per-query and aggregate latency of a workload under one design.
+
+    The paper reports two headline numbers per window (Figures 7, 10, 15):
+    the *average* latency (frequency-weighted mean over queries) and the
+    *maximum* latency (the single worst query).
+    """
+
+    per_query_ms: list[float]
+    weights: list[float]
+
+    @property
+    def average_ms(self) -> float:
+        """Frequency-weighted mean latency."""
+        total_weight = sum(self.weights)
+        if total_weight == 0:
+            return 0.0
+        weighted = sum(c * w for c, w in zip(self.per_query_ms, self.weights))
+        return weighted / total_weight
+
+    @property
+    def max_ms(self) -> float:
+        """Worst single-query latency."""
+        return max(self.per_query_ms, default=0.0)
+
+    @property
+    def total_ms(self) -> float:
+        """Frequency-weighted total work."""
+        return sum(c * w for c, w in zip(self.per_query_ms, self.weights))

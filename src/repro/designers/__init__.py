@@ -1,0 +1,47 @@
+"""The designer zoo: the baselines of the paper's Section 6.1.
+
+* :class:`NoDesign` — empty design (latency upper bound),
+* :class:`ColumnarNominalDesigner` — the Vertica-DBD-style greedy
+  projection designer ("ExistingDesigner" for the columnar engine),
+* :class:`RowstoreNominalDesigner` — the DBMS-X-style index/view advisor
+  with workload compression ("ExistingDesigner" for the row store),
+* :class:`FutureKnowingDesigner` — the oracle that designs for the window
+  it will be evaluated on,
+* :class:`MajorityVoteDesigner` — sensitivity-analysis voting heuristic,
+* :class:`OptimalLocalSearchDesigner` — union-of-neighbors + ILP heuristic.
+
+CliffGuard itself lives in :mod:`repro.core.cliffguard`; it wraps any of
+the nominal designers through the same :class:`DesignAdapter` interface.
+"""
+
+from repro.designers.base import (
+    ColumnarAdapter,
+    DesignAdapter,
+    Designer,
+    RowstoreAdapter,
+    SamplesAdapter,
+    default_budget_bytes,
+)
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.future_knowing import FutureKnowingDesigner
+from repro.designers.local_search import OptimalLocalSearchDesigner
+from repro.designers.majority_vote import MajorityVoteDesigner
+from repro.designers.no_design import NoDesign
+from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+from repro.designers.samples_nominal import SamplesNominalDesigner
+
+__all__ = [
+    "ColumnarAdapter",
+    "ColumnarNominalDesigner",
+    "DesignAdapter",
+    "Designer",
+    "FutureKnowingDesigner",
+    "MajorityVoteDesigner",
+    "NoDesign",
+    "OptimalLocalSearchDesigner",
+    "RowstoreAdapter",
+    "RowstoreNominalDesigner",
+    "SamplesAdapter",
+    "SamplesNominalDesigner",
+    "default_budget_bytes",
+]

@@ -1,0 +1,125 @@
+"""Shared benefit-per-byte greedy selection.
+
+Both nominal designers ("ExistingDesigner" in the paper) follow the classic
+what-if advisor loop: generate candidate structures from the workload's
+templates, price every (query, candidate) pair with the optimizer's what-if
+interface, then greedily pick the structure with the best marginal benefit
+per byte until the budget is exhausted.  The paper notes existing designers
+"often use heuristics or greedy strategies [55], which lead to
+approximations of the nominal optima" — this module is that strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.designers.base import DesignAdapter
+from repro.workload.workload import Workload
+
+
+@dataclass
+class CandidateEvaluation:
+    """Pre-priced (query × candidate) matrix for greedy selection."""
+
+    candidates: list
+    #: Distinct SQL strings, aligned with the cost arrays.
+    sqls: list[str]
+    #: Frequency weight per query.
+    weights: np.ndarray
+    #: Cost of each query under the empty design.
+    base_costs: np.ndarray
+    #: ``matrix[c, q]``: query cost with only candidate ``c`` deployed
+    #: (``inf`` when the candidate cannot serve the query).
+    matrix: np.ndarray
+    #: Estimated bytes per candidate.
+    sizes: np.ndarray
+
+
+def evaluate_candidates(
+    adapter: DesignAdapter, workload: Workload, candidates: list
+) -> CandidateEvaluation:
+    """Price every candidate against every distinct query of ``workload``.
+
+    Queries that do not parse or reference unknown tables are skipped (the
+    paper's trace had a large such fraction); they cannot benefit from any
+    design and would only add a constant to every column of the matrix.
+    """
+    collapsed = workload.collapsed()
+    sqls: list[str] = []
+    weights: list[float] = []
+    profiles = []
+    for query in collapsed:
+        try:
+            profiles.append(adapter.profile(query.sql))
+        except ValueError:
+            continue
+        sqls.append(query.sql)
+        weights.append(query.frequency)
+
+    empty = adapter.empty_design()
+    base = np.array(
+        [adapter.query_cost(p, empty) for p in profiles], dtype=np.float64
+    )
+    matrix = np.full((len(candidates), len(profiles)), np.inf)
+    for c, candidate in enumerate(candidates):
+        single = adapter.make_design([candidate])
+        for q, profile in enumerate(profiles):
+            anchor_only = adapter.structure_cost(profile, candidate)
+            if anchor_only is None and profile.anchor.table == candidate.table:
+                continue  # cannot serve this query at all
+            matrix[c, q] = adapter.query_cost(profile, single)
+    sizes = np.array([adapter.structure_size(c) for c in candidates], dtype=np.float64)
+    return CandidateEvaluation(
+        candidates=candidates,
+        sqls=sqls,
+        weights=np.array(weights, dtype=np.float64),
+        base_costs=base,
+        matrix=matrix,
+        sizes=sizes,
+    )
+
+
+def greedy_select(
+    evaluation: CandidateEvaluation,
+    budget_bytes: int,
+    max_structures: int | None = None,
+    min_benefit_ms: float = 1e-6,
+) -> list:
+    """Greedy benefit-per-byte selection under a byte budget.
+
+    Returns the chosen candidate structures.  The marginal benefit of a
+    candidate is computed against the running per-query best costs, so
+    overlapping candidates are not double-counted.
+    """
+    if not evaluation.candidates or evaluation.base_costs.size == 0:
+        return []
+    current = evaluation.base_costs.copy()
+    weights = evaluation.weights
+    matrix = evaluation.matrix
+    sizes = evaluation.sizes
+    remaining = float(budget_bytes)
+    chosen: list[int] = []
+    available = np.ones(len(evaluation.candidates), dtype=bool)
+
+    while True:
+        if max_structures is not None and len(chosen) >= max_structures:
+            break
+        affordable = available & (sizes <= remaining)
+        if not affordable.any():
+            break
+        # benefit[c] = Σ_q w_q · max(0, current_q − matrix[c, q])
+        improvements = np.maximum(current[None, :] - matrix, 0.0)
+        improvements[~np.isfinite(improvements)] = 0.0
+        benefits = improvements @ weights
+        benefits[~affordable] = -np.inf
+        density = benefits / np.maximum(sizes, 1.0)
+        pick = int(np.argmax(density))
+        if benefits[pick] <= min_benefit_ms:
+            break
+        chosen.append(pick)
+        available[pick] = False
+        remaining -= float(sizes[pick])
+        current = np.minimum(current, np.where(np.isfinite(matrix[pick]), matrix[pick], np.inf))
+    return [evaluation.candidates[i] for i in chosen]

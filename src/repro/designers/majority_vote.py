@@ -1,0 +1,59 @@
+"""MajorityVoteDesigner: sensitivity-analysis voting (paper baseline 4).
+
+Explores the same Γ-neighborhood as CliffGuard (perturbed workloads
+``W¹..Wⁿ``), asks the nominal designer for an optimal design of **each**
+perturbed workload, then keeps the structures that appear in the most
+designs — the intuition being that a structure voted for by many neighbors
+is more likely to survive workload change.  It shares CliffGuard's
+neighborhood sampling but replaces the principled descent with counting,
+which is exactly what the paper uses it to isolate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.designers.base import DesignAdapter, Designer
+from repro.workload.sampler import NeighborhoodSampler
+from repro.workload.workload import Workload
+
+
+class MajorityVoteDesigner(Designer):
+    """Structure voting across designs of perturbed workloads."""
+
+    name = "MajorityVoteDesigner"
+
+    def __init__(
+        self,
+        nominal: Designer,
+        adapter: DesignAdapter,
+        sampler: NeighborhoodSampler,
+        gamma: float,
+        n_samples: int = 20,
+    ):
+        self.nominal = nominal
+        self.adapter = adapter
+        self.sampler = sampler
+        self.gamma = gamma
+        self.n_samples = n_samples
+
+    def design(self, workload: Workload):
+        """Vote structures across the neighborhood's nominal designs."""
+        neighborhoods = [workload] + self.sampler.sample(
+            workload, self.gamma, self.n_samples
+        )
+        votes: Counter = Counter()
+        sizes: dict = {}
+        for neighbor in neighborhoods:
+            design = self.nominal.design(neighbor)
+            for structure in self.adapter.structures(design):
+                votes[structure] += 1
+                sizes.setdefault(structure, self.adapter.structure_size(structure))
+        chosen = []
+        remaining = float(self.adapter.budget_bytes)
+        for structure, _count in votes.most_common():
+            size = sizes[structure]
+            if size <= remaining:
+                chosen.append(structure)
+                remaining -= size
+        return self.adapter.make_design(chosen)

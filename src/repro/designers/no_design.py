@@ -1,0 +1,23 @@
+"""NoDesign: the empty design, providing the latency upper bound.
+
+With no auxiliary structures, every query scans the super-projection
+(columnar) or the base table (row store) — the paper's Section 6.1 uses
+this as the ceiling against which all designers are measured.
+"""
+
+from __future__ import annotations
+
+from repro.designers.base import DesignAdapter, Designer
+from repro.workload.workload import Workload
+
+
+class NoDesign(Designer):
+    """Always returns the empty design."""
+
+    name = "NoDesign"
+
+    def __init__(self, adapter: DesignAdapter):
+        self.adapter = adapter
+
+    def design(self, workload: Workload):
+        return self.adapter.empty_design()

@@ -1,0 +1,218 @@
+"""The DBMS-X-style nominal index/view advisor.
+
+The paper observes that DBMS-X's designer employs anti-overfitting
+heuristics "such as omitting workload details" (workload compression), so
+its designs degrade less sharply than Vertica's under drift — yet still far
+more than CliffGuard's.  This advisor reproduces both halves:
+
+* **Workload compression**: templates whose column sets nearly coincide are
+  merged into a generalized template (their union) before candidate
+  generation, so recommended structures are slightly broader than any one
+  query needs.
+* **Candidates**: composite indices keyed on the filter columns (with a
+  covering variant) and materialized aggregate views keyed on the
+  grouping + filter columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costing.profile import QueryProfile
+from repro.designers.base import Designer, RowstoreAdapter
+from repro.designers.greedy import evaluate_candidates, greedy_select
+from repro.rowstore.design import RowstoreDesign
+from repro.rowstore.index import Index
+from repro.rowstore.matview import MaterializedView
+from repro.workload.workload import Workload
+
+#: Templates whose union column sets differ by at most this many columns
+#: are merged by workload compression.
+COMPRESSION_RADIUS = 2
+#: Indices longer than this stop paying for themselves.
+MAX_INDEX_WIDTH = 4
+#: Covering indices wider than this are not proposed.
+MAX_COVERING_WIDTH = 6
+#: Views whose estimated row count exceeds this fraction of the base table
+#: rows are pointless and are not proposed.
+MAX_VIEW_FRACTION = 0.25
+
+
+@dataclass
+class _CompressedTemplate:
+    """A (possibly merged) template: unions of per-role column sets."""
+
+    table: str
+    eq_columns: list[str]  # ordered by selectivity (most selective first)
+    range_columns: list[str]
+    group_columns: list[str]
+    measure_columns: list[str]
+    select_columns: set[str]
+    weight: float
+    has_aggregates: bool
+
+    @property
+    def union(self) -> frozenset[str]:
+        return (
+            frozenset(self.eq_columns)
+            | frozenset(self.range_columns)
+            | frozenset(self.group_columns)
+            | frozenset(self.measure_columns)
+            | frozenset(self.select_columns)
+        )
+
+
+def _template_of(profile: QueryProfile, weight: float) -> _CompressedTemplate:
+    eq = list(
+        dict.fromkeys(
+            name
+            for name, _ in sorted(profile.anchor.eq_selectivity, key=lambda i: i[1])
+        )
+    )
+    rng = [
+        name
+        for name, _ in sorted(profile.anchor.range_selectivity, key=lambda i: i[1])
+        if name not in eq
+    ]
+    rng = list(dict.fromkeys(rng))
+    measures = [a.column for a in profile.aggregates if a.column is not None]
+    return _CompressedTemplate(
+        table=profile.anchor.table,
+        eq_columns=eq,
+        range_columns=rng,
+        group_columns=list(profile.group_by),
+        measure_columns=list(dict.fromkeys(measures)),
+        select_columns=set(profile.select_columns),
+        weight=weight,
+        has_aggregates=profile.has_aggregates,
+    )
+
+
+def _merge(into: _CompressedTemplate, other: _CompressedTemplate) -> None:
+    for name in other.eq_columns:
+        if name not in into.eq_columns:
+            into.eq_columns.append(name)
+    for name in other.range_columns:
+        if name not in into.range_columns:
+            into.range_columns.append(name)
+    for name in other.group_columns:
+        if name not in into.group_columns:
+            into.group_columns.append(name)
+    for name in other.measure_columns:
+        if name not in into.measure_columns:
+            into.measure_columns.append(name)
+    into.select_columns |= other.select_columns
+    into.weight += other.weight
+    into.has_aggregates = into.has_aggregates or other.has_aggregates
+
+
+def compress_templates(
+    templates: list[_CompressedTemplate], radius: int = COMPRESSION_RADIUS
+) -> list[_CompressedTemplate]:
+    """Merge near-identical templates (the DBMS-X anti-overfit heuristic)."""
+    merged: list[_CompressedTemplate] = []
+    for template in sorted(templates, key=lambda t: -t.weight):
+        target = None
+        for existing in merged:
+            if existing.table != template.table:
+                continue
+            if len(existing.union ^ template.union) <= radius:
+                target = existing
+                break
+        if target is None:
+            merged.append(template)
+        else:
+            _merge(target, template)
+    return merged
+
+
+class RowstoreNominalDesigner(Designer):
+    """Greedy budget-constrained index + view selection (advisor-style)."""
+
+    name = "ExistingDesigner"
+
+    def __init__(
+        self,
+        adapter: RowstoreAdapter,
+        compression_radius: int = COMPRESSION_RADIUS,
+        max_structures: int | None = None,
+    ):
+        self.adapter = adapter
+        self.compression_radius = compression_radius
+        self.max_structures = max_structures
+
+    # -- candidate generation -------------------------------------------------------
+
+    def generate_candidates(self, workload: Workload) -> list[Index | MaterializedView]:
+        """Index and view candidates from compressed templates."""
+        templates: list[_CompressedTemplate] = []
+        for query in workload.collapsed():
+            try:
+                profile = self.adapter.profile(query.sql)
+            except ValueError:
+                continue
+            templates.append(_template_of(profile, query.frequency))
+        templates = compress_templates(templates, self.compression_radius)
+
+        seen: set = set()
+        candidates: list[Index | MaterializedView] = []
+
+        def add(structure: Index | MaterializedView) -> None:
+            if structure not in seen:
+                seen.add(structure)
+                candidates.append(structure)
+
+        for template in templates:
+            # A query can carry several predicates on one column (mutated
+            # workloads do); keep each column once.
+            filter_key = list(
+                dict.fromkeys(template.eq_columns + template.range_columns)
+            )[:MAX_INDEX_WIDTH]
+            if filter_key:
+                add(Index(table=template.table, columns=tuple(filter_key)))
+                covering = filter_key + [
+                    c
+                    for c in sorted(
+                        template.select_columns
+                        | set(template.group_columns)
+                        | set(template.measure_columns)
+                    )
+                    if c not in filter_key
+                ]
+                if len(covering) <= MAX_COVERING_WIDTH and len(covering) > len(filter_key):
+                    add(Index(table=template.table, columns=tuple(covering)))
+            if template.has_aggregates and template.measure_columns:
+                group = list(
+                    dict.fromkeys(
+                        template.group_columns
+                        + template.eq_columns
+                        + template.range_columns
+                    )
+                )
+                if group:
+                    view = MaterializedView(
+                        table=template.table,
+                        group_columns=tuple(group),
+                        measure_columns=tuple(
+                            m for m in template.measure_columns if m not in group
+                        ),
+                    )
+                    stats = self.adapter.cost_model.statistics.get(template.table)
+                    if stats is not None and view.estimated_rows(stats) <= max(
+                        1, int(stats.row_count * MAX_VIEW_FRACTION)
+                    ):
+                        add(view)
+        return candidates
+
+    # -- the designer ------------------------------------------------------------------
+
+    def design(self, workload: Workload) -> RowstoreDesign:
+        """Greedy selection of candidate structures under the budget."""
+        candidates = self.generate_candidates(workload)
+        if not candidates:
+            return RowstoreDesign.empty()
+        evaluation = evaluate_candidates(self.adapter, workload, candidates)
+        chosen = greedy_select(
+            evaluation, self.adapter.budget_bytes, max_structures=self.max_structures
+        )
+        return RowstoreDesign.of(*chosen)

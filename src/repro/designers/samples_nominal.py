@@ -1,0 +1,102 @@
+"""Nominal designer for stratified-sample (AQP) designs.
+
+Per-template candidates stratify on exactly the columns the template's
+answer depends on (filters + groupings), with the fraction chosen to hit a
+target per-stratum row count (the error budget).  Broader candidates
+stratify on a table's most frequent answer-relevant columns, covering
+whole template families — the structures through which CliffGuard's moved
+workloads express robustness in this design space.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.designers.base import Designer, SamplesAdapter
+from repro.designers.greedy import evaluate_candidates, greedy_select
+from repro.samples.design import SampleDesign, StratifiedSample
+from repro.workload.workload import Workload
+
+#: Target retained rows per stratum (error ≈ 1/√target ≈ 0.09).
+TARGET_ROWS_PER_STRATUM = 120
+#: Samples may not exceed this fraction of the base table.
+MAX_FRACTION = 0.25
+#: Strata wider than this explode the cell count.
+MAX_STRATA_WIDTH = 5
+#: How many broad (family) candidates to propose per table.
+FAMILY_CANDIDATES_PER_TABLE = 3
+
+
+class SamplesNominalDesigner(Designer):
+    """Greedy budget-constrained stratified-sample selection."""
+
+    name = "ExistingDesigner"
+
+    def __init__(self, adapter: SamplesAdapter, max_structures: int | None = None):
+        self.adapter = adapter
+        self.max_structures = max_structures
+
+    def _fraction_for(self, table: str, strata: tuple[str, ...]) -> float | None:
+        """Fraction hitting the per-stratum target, or None if infeasible."""
+        statistics = self.adapter.cost_model.statistics[table]
+        probe = StratifiedSample(table=table, strata_columns=strata, fraction=1.0)
+        cells = probe.strata_cells(statistics)
+        needed = cells * TARGET_ROWS_PER_STRATUM
+        fraction = needed / max(statistics.row_count, 1)
+        if fraction > MAX_FRACTION:
+            return None  # too many strata: the sample would not be small
+        return max(fraction, 1e-6)
+
+    def generate_candidates(self, workload: Workload) -> list[StratifiedSample]:
+        """Exact per-template candidates plus per-table family candidates."""
+        seen: set[StratifiedSample] = set()
+        candidates: list[StratifiedSample] = []
+        column_frequency: dict[str, Counter] = {}
+
+        def add(table: str, strata: tuple[str, ...]) -> None:
+            if not strata or len(strata) > MAX_STRATA_WIDTH:
+                return
+            fraction = self._fraction_for(table, strata)
+            if fraction is None:
+                return
+            sample = StratifiedSample(table=table, strata_columns=strata, fraction=fraction)
+            if sample not in seen:
+                seen.add(sample)
+                candidates.append(sample)
+
+        for query in workload.collapsed():
+            try:
+                profile = self.adapter.profile(query.sql)
+            except ValueError:
+                continue
+            if not profile.has_aggregates or profile.dimensions:
+                continue
+            depends_on = sorted(
+                profile.anchor.predicate_columns | set(profile.group_by)
+            )
+            if not depends_on:
+                continue
+            table = profile.anchor.table
+            add(table, tuple(depends_on))
+            counter = column_frequency.setdefault(table, Counter())
+            for name in depends_on:
+                counter[name] += query.frequency
+
+        # Family candidates: the table's most frequent answer-relevant
+        # columns, at increasing widths.
+        for table, counter in column_frequency.items():
+            frequent = [name for name, _ in counter.most_common(MAX_STRATA_WIDTH)]
+            for width in range(2, 2 + FAMILY_CANDIDATES_PER_TABLE):
+                add(table, tuple(sorted(frequent[:width])))
+        return candidates
+
+    def design(self, workload: Workload) -> SampleDesign:
+        """Greedy selection of candidate samples under the budget."""
+        candidates = self.generate_candidates(workload)
+        if not candidates:
+            return SampleDesign.empty()
+        evaluation = evaluate_candidates(self.adapter, workload, candidates)
+        chosen = greedy_select(
+            evaluation, self.adapter.budget_bytes, max_structures=self.max_structures
+        )
+        return SampleDesign.of(*chosen)

@@ -1,0 +1,34 @@
+"""Columnar engine substrate (the Vertica-like system of the paper).
+
+Physical designs here are sets of **projections**: per-table column subsets
+stored sorted by a sort key (Section 2 of the paper).  Every table always
+has an implicit *super-projection* containing all columns, which bounds
+query latency from above exactly as ``NoDesign`` does in the paper.
+
+* :mod:`repro.engine.projection` — projection definitions,
+* :mod:`repro.engine.design` — the :class:`PhysicalDesign` container,
+* :mod:`repro.engine.storage` — numpy-backed columnar storage,
+* :mod:`repro.engine.expressions` — vectorized predicate evaluation,
+* :mod:`repro.engine.executor` — real query execution,
+* :mod:`repro.engine.optimizer` — projection choice and the what-if cost
+  model (the paper's cost function ``f``).
+"""
+
+from repro.engine.design import PhysicalDesign
+from repro.engine.executor import ColumnarExecutor, QueryResult
+from repro.engine.optimizer import ColumnarCostModel, QueryProfile
+from repro.engine.projection import Projection, SortColumn, super_projection
+from repro.engine.storage import ColumnarDatabase, ColumnarTable
+
+__all__ = [
+    "ColumnarCostModel",
+    "ColumnarDatabase",
+    "ColumnarExecutor",
+    "ColumnarTable",
+    "PhysicalDesign",
+    "Projection",
+    "QueryProfile",
+    "QueryResult",
+    "SortColumn",
+    "super_projection",
+]

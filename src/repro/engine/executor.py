@@ -1,0 +1,400 @@
+"""Real query execution over columnar storage.
+
+The executor runs the same plans the cost model prices: it asks the
+optimizer which projection to use, binary-searches the sort-key prefix when
+the leading sort column carries a predicate, evaluates the remaining filters
+vectorized, performs hash equi-joins, grouped aggregation, ordering, and
+LIMIT.  It reports how many rows and cells it actually touched so tests can
+check cost-model orderings against measured work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.design import PhysicalDesign
+from repro.engine.expressions import evaluate_conjunction
+from repro.engine.optimizer import ColumnarCostModel, resolve_column
+from repro.engine.projection import Projection
+from repro.engine.storage import ColumnarDatabase, ColumnData, MaterializedProjection
+from repro.sql.ast import (
+    Aggregate,
+    ColumnRef,
+    ComparisonPredicate,
+    PredicateType,
+    SelectStatement,
+)
+from repro.sql.parser import parse
+
+
+class ExecutionError(ValueError):
+    """Raised when a query cannot be executed against the database."""
+
+
+@dataclass
+class ExecutionStats:
+    """Work actually performed while executing one query."""
+
+    projection: Projection
+    rows_scanned: int
+    cells_read: int
+
+
+@dataclass
+class QueryResult:
+    """A materialized query result."""
+
+    columns: list[str]
+    rows: list[tuple]
+    stats: ExecutionStats
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+def _group_reduce(
+    func: str, values: np.ndarray, inverse: np.ndarray, group_count: int
+) -> np.ndarray:
+    """Aggregate ``values`` per group id in ``inverse`` (vectorized)."""
+    order = np.argsort(inverse, kind="stable")
+    sorted_inverse = inverse[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.r_[True, sorted_inverse[1:] != sorted_inverse[:-1]])
+    counts = np.diff(np.r_[boundaries, sorted_inverse.size])
+    if func == "COUNT":
+        return counts.astype(np.int64)
+    if func == "SUM":
+        return np.add.reduceat(sorted_values, boundaries)
+    if func == "AVG":
+        sums = np.add.reduceat(sorted_values.astype(np.float64), boundaries)
+        return sums / counts
+    if func == "MIN":
+        return np.minimum.reduceat(sorted_values, boundaries)
+    if func == "MAX":
+        return np.maximum.reduceat(sorted_values, boundaries)
+    raise ExecutionError(f"unsupported aggregate {func!r}")
+
+
+def _scalar_reduce(func: str, values: np.ndarray, distinct: bool) -> object:
+    if distinct:
+        values = np.unique(values)
+    if func == "COUNT":
+        return int(values.size)
+    if values.size == 0:
+        return None
+    reducers = {"SUM": np.sum, "AVG": np.mean, "MIN": np.min, "MAX": np.max}
+    return reducers[func](values).item()
+
+
+class ColumnarExecutor:
+    """Executes the SQL subset against a :class:`ColumnarDatabase`."""
+
+    def __init__(self, database: ColumnarDatabase, cost_model: ColumnarCostModel | None = None):
+        self.database = database
+        self.cost_model = cost_model or ColumnarCostModel(
+            database.schema, database.measured_statistics()
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(self, sql: str, design: PhysicalDesign | None = None) -> QueryResult:
+        """Execute ``sql`` under ``design`` (empty design = super-projections).
+
+        Projections in the design are materialized on first use.
+        """
+        design = design or PhysicalDesign.empty()
+        stmt = parse(sql)
+        if stmt.table not in self.database.tables:
+            raise ExecutionError(f"unknown table {stmt.table!r}")
+        profile = self.cost_model.profile(sql)
+        chosen = self.cost_model.choose_projection(profile, design)
+        table = self.database.table(stmt.table)
+        materialized = table.materialize(chosen)
+
+        anchor_preds, dim_preds = self._split_predicates(stmt)
+        mask, rows_scanned = self._anchor_mask(materialized, anchor_preds)
+        columns: dict[str, ColumnData] = {
+            name: ColumnData(data.values[mask], data.dictionary)
+            for name, data in materialized.columns.items()
+        }
+        row_count = int(mask.sum())
+        cells_read = rows_scanned * len(materialized.columns)
+
+        for join in stmt.joins:
+            columns, row_count = self._apply_join(
+                stmt, join, columns, row_count, dim_preds.get(join.table, [])
+            )
+
+        stats = ExecutionStats(
+            projection=chosen, rows_scanned=rows_scanned, cells_read=cells_read
+        )
+        if stmt.has_aggregates or stmt.group_by:
+            return self._aggregate(stmt, columns, row_count, stats)
+        return self._project(stmt, columns, row_count, stats)
+
+    # -- planning helpers ----------------------------------------------------------
+
+    def _split_predicates(
+        self, stmt: SelectStatement
+    ) -> tuple[list[PredicateType], dict[str, list[PredicateType]]]:
+        anchor: list[PredicateType] = []
+        dims: dict[str, list[PredicateType]] = {}
+        dim_names = {j.table for j in stmt.joins}
+        for pred in stmt.where:
+            resolved = resolve_column(self.database.schema, pred.column, stmt.table)
+            if resolved is None:
+                raise ExecutionError(
+                    f"predicate references unknown column {pred.column.qualified!r}"
+                )
+            owner, _ = resolved
+            if owner == stmt.table:
+                anchor.append(pred)
+            elif owner in dim_names:
+                dims.setdefault(owner, []).append(pred)
+            else:
+                raise ExecutionError(
+                    f"predicate on {owner!r}, which is not in the FROM clause"
+                )
+        return anchor, dims
+
+    def _anchor_mask(
+        self, materialized: MaterializedProjection, preds: list[PredicateType]
+    ) -> tuple[np.ndarray, int]:
+        """Evaluate anchor predicates, binary-searching the sort prefix."""
+        row_count = materialized.row_count
+        lo, hi = 0, row_count
+        remaining = list(preds)
+        sort_columns = materialized.projection.sort_columns
+        if sort_columns and sort_columns[0].ascending:
+            first = sort_columns[0].name
+            eq = next(
+                (
+                    p
+                    for p in remaining
+                    if isinstance(p, ComparisonPredicate)
+                    and p.op == "="
+                    and p.column.name == first
+                ),
+                None,
+            )
+            if eq is not None:
+                key = materialized.sort_key_values()
+                literal = materialized.columns[first].encode_literal(eq.value.value)
+                lo = int(np.searchsorted(key, literal, side="left"))
+                hi = int(np.searchsorted(key, literal, side="right"))
+                remaining.remove(eq)
+        window = {
+            name: ColumnData(data.values[lo:hi], data.dictionary)
+            for name, data in materialized.columns.items()
+        }
+        inner = evaluate_conjunction(tuple(remaining), window, hi - lo)
+        mask = np.zeros(row_count, dtype=bool)
+        mask[lo:hi] = inner
+        return mask, hi - lo
+
+    def _apply_join(
+        self,
+        stmt: SelectStatement,
+        join,
+        columns: dict[str, ColumnData],
+        row_count: int,
+        dim_predicates: list[PredicateType],
+    ) -> tuple[dict[str, ColumnData], int]:
+        """Hash equi-join the current rows with one dimension table."""
+        schema = self.database.schema
+        left = resolve_column(schema, join.left, stmt.table)
+        right = resolve_column(schema, join.right, stmt.table)
+        if left is None or right is None:
+            raise ExecutionError("join references unknown columns")
+        if left[0] == stmt.table and right[0] == join.table:
+            anchor_key, dim_key = left[1], right[1]
+        elif right[0] == stmt.table and left[0] == join.table:
+            anchor_key, dim_key = right[1], left[1]
+        else:
+            raise ExecutionError("join must connect the anchor to the joined table")
+
+        dim_table = self.database.table(join.table)
+        dim_super = dim_table.super_projection
+        dim_mask = evaluate_conjunction(
+            tuple(dim_predicates), dim_super.columns, dim_super.row_count
+        )
+        dim_keys = dim_super.columns[dim_key].values[dim_mask]
+        dim_rows = {
+            name: data.values[dim_mask] for name, data in dim_super.columns.items()
+        }
+
+        # Probe: keep anchor rows whose key matches some dimension row, and
+        # attach the first matching dimension row's columns.
+        unique_keys, first_index = np.unique(dim_keys, return_index=True)
+        anchor_keys = columns[anchor_key].values
+        positions = np.searchsorted(unique_keys, anchor_keys)
+        positions = np.clip(positions, 0, max(unique_keys.size - 1, 0))
+        matched = (
+            (unique_keys[positions] == anchor_keys)
+            if unique_keys.size
+            else np.zeros(row_count, dtype=bool)
+        )
+        dim_index = first_index[positions[matched]] if unique_keys.size else np.array([], dtype=int)
+
+        joined: dict[str, ColumnData] = {
+            name: ColumnData(data.values[matched], data.dictionary)
+            for name, data in columns.items()
+        }
+        for name, values in dim_rows.items():
+            label = f"{join.table}.{name}"
+            dictionary = dim_super.columns[name].dictionary
+            joined[label] = ColumnData(values[dim_index], dictionary)
+        return joined, int(matched.sum())
+
+    # -- output helpers -------------------------------------------------------------
+
+    def _lookup(
+        self, stmt: SelectStatement, columns: dict[str, ColumnData], ref: ColumnRef
+    ) -> ColumnData:
+        """Find a referenced column among anchor (bare) and joined (qualified) keys."""
+        candidates = []
+        if ref.table is None or ref.table == stmt.table:
+            candidates.append(ref.name)
+        candidates.append(ref.qualified)
+        if ref.table is None:
+            candidates.extend(
+                f"{join.table}.{ref.name}" for join in stmt.joins
+            )
+        for key in candidates:
+            if key in columns:
+                return columns[key]
+        raise ExecutionError(f"output column {ref.qualified!r} not available")
+
+    def _output_label(self, item) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, Aggregate):
+            inner = "*" if item.expr.column is None else item.expr.column.qualified
+            return f"{item.expr.func.lower()}({inner})"
+        return item.expr.qualified
+
+    def _project(
+        self,
+        stmt: SelectStatement,
+        columns: dict[str, ColumnData],
+        row_count: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        if stmt.select_star:
+            labels = list(columns.keys())
+            arrays = [columns[label] for label in labels]
+        else:
+            labels = [self._output_label(item) for item in stmt.select]
+            arrays = [self._lookup(stmt, columns, item.expr) for item in stmt.select]
+
+        order = np.arange(row_count)
+        if stmt.order_by:
+            keys = []
+            for item in reversed(stmt.order_by):
+                values = self._lookup(stmt, columns, item.column).values
+                if not item.ascending:
+                    values = -values.astype(np.float64) if values.dtype != object else values
+                keys.append(values)
+            order = np.lexsort(keys)
+        if stmt.limit is not None:
+            order = order[: stmt.limit]
+
+        decoded = [a.decode()[order] for a in arrays]
+        rows = [tuple(col[i] for col in decoded) for i in range(order.size)]
+        return QueryResult(columns=labels, rows=rows, stats=stats)
+
+    def _aggregate(
+        self,
+        stmt: SelectStatement,
+        columns: dict[str, ColumnData],
+        row_count: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        labels = [self._output_label(item) for item in stmt.select]
+
+        if not stmt.group_by:
+            row: list[object] = []
+            for item in stmt.select:
+                if not isinstance(item.expr, Aggregate):
+                    raise ExecutionError(
+                        "non-aggregate select item without GROUP BY"
+                    )
+                agg = item.expr
+                if agg.column is None:
+                    row.append(row_count)
+                else:
+                    values = self._lookup(stmt, columns, agg.column).values
+                    row.append(_scalar_reduce(agg.func, values, agg.distinct))
+            return QueryResult(columns=labels, rows=[tuple(row)], stats=stats)
+
+        group_arrays = [
+            self._lookup(stmt, columns, col) for col in stmt.group_by
+        ]
+        if row_count == 0:
+            return QueryResult(columns=labels, rows=[], stats=stats)
+        stacked = np.stack([a.values.astype(np.int64, copy=False) for a in group_arrays])
+        _, first_index, inverse = np.unique(
+            stacked, axis=1, return_index=True, return_inverse=True
+        )
+        group_count = int(inverse.max()) + 1 if inverse.size else 0
+
+        outputs: list[np.ndarray] = []
+        for item in stmt.select:
+            if isinstance(item.expr, Aggregate):
+                agg = item.expr
+                if agg.column is None:
+                    values = np.ones(row_count, dtype=np.int64)
+                    outputs.append(_group_reduce("COUNT", values, inverse, group_count))
+                elif agg.distinct:
+                    values = self._lookup(stmt, columns, agg.column).values
+                    result = np.empty(group_count, dtype=np.int64)
+                    for g in range(group_count):
+                        result[g] = np.unique(values[inverse == g]).size
+                    outputs.append(result)
+                else:
+                    values = self._lookup(stmt, columns, agg.column).values
+                    outputs.append(_group_reduce(agg.func, values, inverse, group_count))
+            else:
+                data = self._lookup(stmt, columns, item.expr)
+                outputs.append(data.decode()[first_index])
+
+        order = np.arange(group_count)
+        if stmt.order_by:
+            label_by_column = {}
+            for item, out in zip(stmt.select, outputs):
+                if item.alias:
+                    label_by_column[item.alias] = out
+                label_by_column[self._output_label(item)] = out
+                if not isinstance(item.expr, Aggregate):
+                    label_by_column[item.expr.qualified] = out
+                    label_by_column[item.expr.name] = out
+            keys = []
+            for item in reversed(stmt.order_by):
+                values = label_by_column.get(
+                    item.column.qualified, label_by_column.get(item.column.name)
+                )
+                if values is None:
+                    # ORDER BY a grouping column not in the select list.
+                    idx = (
+                        list(c.qualified for c in stmt.group_by).index(item.column.qualified)
+                        if item.column.qualified in [c.qualified for c in stmt.group_by]
+                        else None
+                    )
+                    if idx is None:
+                        raise ExecutionError(
+                            f"cannot ORDER BY {item.column.qualified!r} after GROUP BY"
+                        )
+                    values = group_arrays[idx].values[first_index]
+                sort_values = values
+                if not item.ascending and sort_values.dtype != object:
+                    sort_values = -sort_values.astype(np.float64)
+                keys.append(sort_values)
+            order = np.lexsort(keys)
+        if stmt.limit is not None:
+            order = order[: stmt.limit]
+
+        rows = [tuple(out[i] for out in outputs) for i in order]
+        return QueryResult(columns=labels, rows=rows, stats=stats)

@@ -1,0 +1,98 @@
+"""Vectorized predicate evaluation over column arrays.
+
+Shared by the columnar executor and the row-store engine: given a mapping of
+bare column name → :class:`~repro.engine.storage.ColumnData`, build a boolean
+mask for a conjunction of predicates.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+import numpy as np
+
+from repro.engine.storage import ColumnData
+from repro.sql.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    PredicateType,
+)
+
+
+class ExpressionError(ValueError):
+    """Raised when a predicate references a column not present in the data."""
+
+
+def _coerce(data: ColumnData, literal: object) -> object:
+    value = data.encode_literal(literal)
+    if isinstance(value, bool):
+        return value
+    if value is None:
+        return None
+    return value
+
+
+def evaluate_predicate(pred: PredicateType, columns: dict[str, ColumnData]) -> np.ndarray:
+    """Boolean mask of rows satisfying one predicate."""
+    name = pred.column.name
+    if name not in columns:
+        raise ExpressionError(f"predicate references missing column {name!r}")
+    data = columns[name]
+    values = data.values
+
+    if isinstance(pred, ComparisonPredicate):
+        literal = _coerce(data, pred.value.value)
+        if literal is None:
+            # ``col op NULL`` is never true under SQL three-valued logic.
+            return np.zeros(values.shape[0], dtype=bool)
+        ops = {
+            "=": np.equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }
+        return ops[pred.op](values, literal)
+    if isinstance(pred, BetweenPredicate):
+        low = _coerce(data, pred.low.value)
+        high = _coerce(data, pred.high.value)
+        if low is None or high is None:
+            return np.zeros(values.shape[0], dtype=bool)
+        return (values >= low) & (values <= high)
+    if isinstance(pred, InPredicate):
+        literals = [_coerce(data, v.value) for v in pred.values]
+        literals = [v for v in literals if v is not None]
+        if not literals:
+            return np.zeros(values.shape[0], dtype=bool)
+        return np.isin(values, np.array(literals))
+    if isinstance(pred, LikePredicate):
+        decoded = data.decode()
+        # SQL LIKE wildcards map onto fnmatch: % -> *, _ -> ?.
+        pattern = pred.pattern.replace("%", "*").replace("_", "?")
+        mask = np.array(
+            [fnmatch.fnmatch(str(v), pattern) for v in decoded], dtype=bool
+        )
+        return mask
+    if isinstance(pred, IsNullPredicate):
+        if values.dtype.kind == "f":
+            nulls = np.isnan(values)
+        else:
+            nulls = np.zeros(values.shape[0], dtype=bool)
+        return ~nulls if pred.negated else nulls
+    raise TypeError(f"unknown predicate type: {type(pred).__name__}")
+
+
+def evaluate_conjunction(
+    predicates: tuple[PredicateType, ...] | list[PredicateType],
+    columns: dict[str, ColumnData],
+    row_count: int,
+) -> np.ndarray:
+    """Boolean mask for the AND of ``predicates`` (all-true when empty)."""
+    mask = np.ones(row_count, dtype=bool)
+    for pred in predicates:
+        mask &= evaluate_predicate(pred, columns)
+    return mask

@@ -1,0 +1,169 @@
+"""Numpy-backed columnar storage.
+
+A :class:`ColumnarTable` holds base column arrays; deploying a design
+materializes :class:`MaterializedProjection` objects — the projection's
+columns physically re-ordered by its sort key, exactly like Vertica sorts a
+projection on disk.  String columns are dictionary-encoded (int64 codes plus
+a decode array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.catalog.schema import Schema, Table
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.catalog.types import ColumnType
+from repro.engine.design import PhysicalDesign
+from repro.engine.projection import Projection, super_projection
+
+
+@dataclass
+class ColumnData:
+    """One stored column: values plus an optional string dictionary."""
+
+    values: np.ndarray
+    dictionary: np.ndarray | None = None  # code -> string, for STRING columns
+
+    def decode(self) -> np.ndarray:
+        """Return string values for STRING columns, raw values otherwise."""
+        if self.dictionary is None:
+            return self.values
+        return self.dictionary[self.values]
+
+    def encode_literal(self, literal: object) -> object:
+        """Map a query literal to the stored domain (string → code)."""
+        if self.dictionary is None or not isinstance(literal, str):
+            return literal
+        matches = np.nonzero(self.dictionary == literal)[0]
+        if matches.size == 0:
+            return -1  # no such string: matches nothing
+        return int(matches[0])
+
+
+@dataclass
+class MaterializedProjection:
+    """A projection's data, sorted by its sort key."""
+
+    projection: Projection
+    columns: dict[str, ColumnData]
+    row_count: int
+
+    def sort_key_values(self) -> np.ndarray:
+        """Values of the first sort column (the binary-search key)."""
+        first = self.projection.sort_columns[0].name
+        return self.columns[first].values
+
+
+def _default_dictionary(ndv: int) -> np.ndarray:
+    """Synthetic decode array for generated string codes."""
+    return np.array([f"val_{i}" for i in range(ndv)], dtype=object)
+
+
+class ColumnarTable:
+    """Base data for one table plus its materialized projections."""
+
+    def __init__(self, table: Table, data: dict[str, np.ndarray]):
+        self.table = table
+        missing = [c.name for c in table.columns if c.name not in data]
+        if missing:
+            raise ValueError(f"table {table.name!r}: missing data for {missing}")
+        lengths = {arr.shape[0] for arr in data.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"table {table.name!r}: ragged column lengths {lengths}")
+        self.row_count = next(iter(lengths)) if lengths else 0
+        self.columns: dict[str, ColumnData] = {}
+        for column in table.columns:
+            values = data[column.name]
+            dictionary = None
+            if column.type is ColumnType.STRING:
+                ndv = int(values.max()) + 1 if values.size else 1
+                dictionary = _default_dictionary(ndv)
+            self.columns[column.name] = ColumnData(values=values, dictionary=dictionary)
+        self.projections: dict[Projection, MaterializedProjection] = {}
+        self._super = super_projection(table)
+        self.materialize(self._super)
+
+    @property
+    def super_projection(self) -> MaterializedProjection:
+        """The always-present all-columns projection."""
+        return self.projections[self._super]
+
+    def materialize(self, projection: Projection) -> MaterializedProjection:
+        """Physically build ``projection`` (idempotent)."""
+        if projection in self.projections:
+            return self.projections[projection]
+        if projection.table != self.table.name:
+            raise ValueError(
+                f"projection anchored on {projection.table!r}, table is {self.table.name!r}"
+            )
+        order = self._sort_order(projection)
+        columns = {
+            name: ColumnData(
+                values=self.columns[name].values[order],
+                dictionary=self.columns[name].dictionary,
+            )
+            for name in projection.columns
+        }
+        materialized = MaterializedProjection(
+            projection=projection, columns=columns, row_count=self.row_count
+        )
+        self.projections[projection] = materialized
+        return materialized
+
+    def _sort_order(self, projection: Projection) -> np.ndarray:
+        if not projection.sort_columns or self.row_count == 0:
+            return np.arange(self.row_count)
+        # np.lexsort sorts by the last key first, so reverse the sort spec.
+        keys = []
+        for sort_column in reversed(projection.sort_columns):
+            values = self.columns[sort_column.name].values
+            if not sort_column.ascending:
+                values = -values if values.dtype != np.bool_ else ~values
+            keys.append(values)
+        return np.lexsort(keys)
+
+    def measured_statistics(self) -> TableStatistics:
+        """Statistics computed from the actual stored data."""
+        return TableStatistics(
+            row_count=self.row_count,
+            columns={
+                name: ColumnStatistics.measured(data.values.astype(np.float64))
+                for name, data in self.columns.items()
+            },
+        )
+
+
+class ColumnarDatabase:
+    """All tables of one schema, with design deployment."""
+
+    def __init__(self, schema: Schema, data: dict[str, dict[str, np.ndarray]]):
+        self.schema = schema
+        self.tables: dict[str, ColumnarTable] = {}
+        for name, table in schema.tables.items():
+            if name not in data:
+                raise ValueError(f"no data supplied for table {name!r}")
+            self.tables[name] = ColumnarTable(table, data[name])
+
+    def table(self, name: str) -> ColumnarTable:
+        """Look up a table's storage by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no such table: {name!r}") from None
+
+    def deploy(self, design: PhysicalDesign) -> int:
+        """Materialize every projection in ``design``; returns #built."""
+        built = 0
+        for projection in design:
+            table = self.table(projection.table)
+            if projection not in table.projections:
+                table.materialize(projection)
+                built += 1
+        return built
+
+    def measured_statistics(self) -> dict[str, TableStatistics]:
+        """Measured statistics for every table (feeds the cost model)."""
+        return {name: table.measured_statistics() for name, table in self.tables.items()}

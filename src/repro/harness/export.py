@@ -1,0 +1,94 @@
+"""Export experiment results as CSV or JSON.
+
+The benchmarks print fixed-width text; downstream users plotting the
+figures want machine-readable data.  These helpers serialize
+:class:`~repro.harness.replay.ReplayResult` objects and generic
+series/tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+
+from repro.harness.replay import ReplayResult
+
+
+def replay_to_rows(result: ReplayResult) -> list[dict]:
+    """Flatten a replay result to one dict per (designer, window)."""
+    rows: list[dict] = []
+    for name, run in result.runs.items():
+        for window in run.windows:
+            rows.append(
+                {
+                    "workload": result.workload_name,
+                    "designer": name,
+                    "window": window.window_index,
+                    "average_ms": window.average_ms,
+                    "max_ms": window.max_ms,
+                    "design_seconds": window.design_seconds,
+                    "design_price_bytes": window.design_price_bytes,
+                    "structure_count": window.structure_count,
+                }
+            )
+    return rows
+
+
+def replay_to_csv(result: ReplayResult) -> str:
+    """Render a replay result as CSV text."""
+    rows = replay_to_rows(result)
+    buffer = io.StringIO()
+    if not rows:
+        return ""
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def replay_to_json(result: ReplayResult, indent: int | None = 2) -> str:
+    """Render a replay result as JSON text, including per-designer means."""
+    payload = {
+        "workload": result.workload_name,
+        "designers": {
+            name: {
+                "mean_average_ms": run.mean_average_ms,
+                "mean_max_ms": run.mean_max_ms,
+                "mean_design_seconds": run.mean_design_seconds,
+                "windows": [
+                    {
+                        "window": w.window_index,
+                        "average_ms": w.average_ms,
+                        "max_ms": w.max_ms,
+                    }
+                    for w in run.windows
+                ],
+            }
+            for name, run in result.runs.items()
+        },
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def series_to_csv(
+    x_label: str, y_label: str, points: Sequence[tuple[object, float]]
+) -> str:
+    """Render an (x, y) series — a figure's data — as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([x_label, y_label])
+    for x, y in points:
+        writer.writerow([x, y])
+    return buffer.getvalue()
+
+
+def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a generic table — a paper table's data — as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()

@@ -1,0 +1,185 @@
+"""The windowed design→evaluate replay loop (paper Section 6.1).
+
+Queries are split into fixed windows ``W_0, W_1, …``; at the end of each
+window every designer produces a design from ``W_i`` (the oracle
+:class:`~repro.designers.future_knowing.FutureKnowingDesigner` gets
+``W_{i+1}`` instead), and the design is evaluated on ``W_{i+1}``.
+Reported numbers are the per-window average and maximum query latencies,
+averaged over all windows — exactly the bars of Figures 7, 10, and 15.
+
+Evaluation is restricted to *beneficial* queries: the paper keeps only
+queries "for which there existed an ideal design (no matter how expensive)
+that could improve on their bare table-scan latency by at least a factor
+of 3×" (515 of R1's 15.5K parseable queries).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.designers.base import DesignAdapter, Designer
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+#: The paper's benefit threshold for including a query in the evaluation.
+BENEFIT_FACTOR = 3.0
+
+
+def beneficial_queries(
+    adapter: DesignAdapter,
+    candidate_source,
+    workload: Workload,
+    factor: float = BENEFIT_FACTOR,
+) -> Workload:
+    """Queries whose ideal dedicated structure beats the bare scan ≥ ``factor``×.
+
+    ``candidate_source`` is any object with a ``generate_candidates``
+    method (a nominal designer); the ideal cost of a query is its best cost
+    across the candidates generated for that query alone.
+    """
+    kept: list[WorkloadQuery] = []
+    for query in workload.collapsed():
+        try:
+            profile = adapter.profile(query.sql)
+        except ValueError:
+            continue
+        base = adapter.query_cost(profile, adapter.empty_design())
+        candidates = candidate_source.generate_candidates(Workload([query]))
+        best = base
+        for candidate in candidates:
+            single = adapter.make_design([candidate])
+            cost = adapter.query_cost(profile, single)
+            if cost < best:
+                best = cost
+        if best > 0 and base / best >= factor:
+            kept.append(query)
+    return Workload(kept)
+
+
+@dataclass
+class WindowOutcome:
+    """One designer's result on one train→test window transition."""
+
+    window_index: int
+    average_ms: float
+    max_ms: float
+    design_seconds: float
+    design_price_bytes: int
+    structure_count: int
+
+
+@dataclass
+class DesignerRun:
+    """All window outcomes for one designer."""
+
+    name: str
+    windows: list[WindowOutcome] = field(default_factory=list)
+
+    @property
+    def mean_average_ms(self) -> float:
+        """Average latency, averaged over windows (the paper's "Avg")."""
+        if not self.windows:
+            return 0.0
+        return sum(w.average_ms for w in self.windows) / len(self.windows)
+
+    @property
+    def mean_max_ms(self) -> float:
+        """Max latency, averaged over windows (the paper's "Max")."""
+        if not self.windows:
+            return 0.0
+        return sum(w.max_ms for w in self.windows) / len(self.windows)
+
+    @property
+    def mean_design_seconds(self) -> float:
+        """Wall-clock designer time per window (Figure 14's design bar)."""
+        if not self.windows:
+            return 0.0
+        return sum(w.design_seconds for w in self.windows) / len(self.windows)
+
+
+@dataclass
+class ReplayResult:
+    """Replay outcomes for a set of designers over one trace."""
+
+    workload_name: str
+    runs: dict[str, DesignerRun] = field(default_factory=dict)
+    evaluated_query_counts: list[int] = field(default_factory=list)
+
+    def run(self, name: str) -> DesignerRun:
+        return self.runs[name]
+
+    def speedup(self, baseline: str, target: str) -> tuple[float, float]:
+        """(avg, max) latency improvement factors of ``target`` over
+        ``baseline``."""
+        base = self.runs[baseline]
+        other = self.runs[target]
+        avg = base.mean_average_ms / other.mean_average_ms if other.mean_average_ms else float("inf")
+        mx = base.mean_max_ms / other.mean_max_ms if other.mean_max_ms else float("inf")
+        return avg, mx
+
+
+def replay(
+    windows: list[Workload],
+    designers: dict[str, Designer],
+    adapter: DesignAdapter,
+    candidate_source=None,
+    benefit_factor: float = BENEFIT_FACTOR,
+    workload_name: str = "workload",
+    max_transitions: int | None = None,
+    skip_transitions: int = 0,
+    before_transition=None,
+) -> ReplayResult:
+    """Run the full replay; see the module docstring for the protocol.
+
+    ``candidate_source`` (a nominal designer) drives the beneficial-query
+    filter; pass ``None`` to evaluate on every parseable query.
+
+    ``skip_transitions`` drops the first transitions from the evaluation —
+    the trace generators model recurring workloads, so early windows have
+    no history for anyone to exploit and would only add noise.
+
+    ``before_transition(i, train, test)`` is called before each transition;
+    experiments use it to refresh sampler pools with only-past queries (so
+    neighborhood sampling never peeks at the future).
+    """
+    result = ReplayResult(workload_name=workload_name)
+    for name in designers:
+        result.runs[name] = DesignerRun(name=name)
+
+    transitions = len(windows) - 1
+    if max_transitions is not None:
+        transitions = min(transitions, skip_transitions + max_transitions)
+
+    for i in range(skip_transitions, transitions):
+        train, test = windows[i], windows[i + 1]
+        if not train or not test:
+            continue
+        if before_transition is not None:
+            before_transition(i, train, test)
+        if candidate_source is not None:
+            evaluation = beneficial_queries(
+                adapter, candidate_source, test, benefit_factor
+            )
+        else:
+            evaluation = test.collapsed()
+        if not evaluation:
+            continue
+        result.evaluated_query_counts.append(len(evaluation))
+        for name, designer in designers.items():
+            input_window = test if getattr(designer, "is_oracle", False) else train
+            started = time.perf_counter()
+            design = designer.design(input_window)
+            design_seconds = time.perf_counter() - started
+            report = adapter.workload_cost(evaluation, design)
+            result.runs[name].windows.append(
+                WindowOutcome(
+                    window_index=i,
+                    average_ms=report.average_ms,
+                    max_ms=report.max_ms,
+                    design_seconds=design_seconds,
+                    design_price_bytes=adapter.design_price(design),
+                    structure_count=len(adapter.structures(design)),
+                )
+            )
+    return result

@@ -1,0 +1,133 @@
+"""Re-design scheduling: how often must the database be re-designed?
+
+The paper's introduction argues (claim (d)) that "a robust design can
+significantly reduce operational costs by requiring less frequent database
+re-designs", and its Section 6.4 notes the nominal designer's slight edge
+over NoDesign "would quickly fade away if the database were to be
+re-designed less frequently".  This module makes that claim executable:
+
+* :class:`PeriodicPolicy` — re-design every N windows (the paper's monthly
+  tuning practice is ``every=1``),
+* :class:`DriftTriggeredPolicy` — re-design only when the workload has
+  drifted more than a δ threshold since the design was built (what a
+  drift-aware DBA would do),
+* :func:`scheduled_replay` — replay a trace under a policy, accounting for
+  both query latency and the (dominant, Figure 14) deployment cost of each
+  re-design.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.designers.base import DesignAdapter, Designer
+from repro.workload.workload import Workload
+
+
+class RedesignPolicy(abc.ABC):
+    """Decides, at each window boundary, whether to re-design."""
+
+    @abc.abstractmethod
+    def should_redesign(
+        self, window_index: int, design_window: Workload | None, current: Workload
+    ) -> bool:
+        """``design_window`` is the workload the active design was built
+        for (``None`` before the first design)."""
+
+
+class PeriodicPolicy(RedesignPolicy):
+    """Re-design every ``every`` windows (the classic monthly re-tune)."""
+
+    def __init__(self, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+
+    def should_redesign(self, window_index, design_window, current):
+        if design_window is None:
+            return True
+        return window_index % self.every == 0
+
+
+class DriftTriggeredPolicy(RedesignPolicy):
+    """Re-design when δ(design workload, current workload) exceeds a
+    threshold — drift-aware operations."""
+
+    def __init__(self, distance, threshold: float):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.distance = distance
+        self.threshold = threshold
+        self.triggers: list[int] = []
+
+    def should_redesign(self, window_index, design_window, current):
+        if design_window is None:
+            return True
+        if self.distance(design_window, current) > self.threshold:
+            self.triggers.append(window_index)
+            return True
+        return False
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of one scheduled replay."""
+
+    designer: str
+    per_window_avg_ms: list[float] = field(default_factory=list)
+    redesign_windows: list[int] = field(default_factory=list)
+    total_deployment_seconds: float = 0.0
+
+    @property
+    def redesign_count(self) -> int:
+        return len(self.redesign_windows)
+
+    @property
+    def mean_average_ms(self) -> float:
+        if not self.per_window_avg_ms:
+            return 0.0
+        return sum(self.per_window_avg_ms) / len(self.per_window_avg_ms)
+
+
+#: Deployment throughput (matches repro.engine.design.DEPLOY_SECONDS_PER_GB).
+DEPLOY_SECONDS_PER_GB = 360.0
+
+
+def scheduled_replay(
+    windows: list[Workload],
+    designer: Designer,
+    adapter: DesignAdapter,
+    policy: RedesignPolicy,
+    evaluation_windows: list[Workload] | None = None,
+    before_design=None,
+) -> ScheduleOutcome:
+    """Replay ``windows`` re-designing only when ``policy`` says so.
+
+    The design built from window ``i`` serves window ``i+1`` (and later
+    windows until the next re-design).  ``evaluation_windows`` optionally
+    substitutes filtered workloads for latency measurement.
+    ``before_design(i)`` is called before each re-design (e.g. to refresh
+    sampler pools).
+    """
+    outcome = ScheduleOutcome(designer=designer.name)
+    evaluation = evaluation_windows or windows
+    design = None
+    design_window: Workload | None = None
+    for i in range(len(windows) - 1):
+        train, test = windows[i], evaluation[i + 1]
+        if not train or not test:
+            continue
+        if policy.should_redesign(i, design_window, train):
+            if before_design is not None:
+                before_design(i)
+            design = designer.design(train)
+            design_window = train
+            outcome.redesign_windows.append(i)
+            outcome.total_deployment_seconds += (
+                adapter.design_price(design) / 1e9 * DEPLOY_SECONDS_PER_GB
+            )
+        outcome.per_window_avg_ms.append(
+            adapter.workload_cost(test, design).average_ms
+        )
+    return outcome

@@ -1,0 +1,30 @@
+"""Row-store engine substrate (the DBMS-X-like system of the paper).
+
+Physical designs here are sets of **composite indices** and **materialized
+aggregate views** — the structure types the paper's DBMS-X advisor
+recommends.  Without a design, queries pay full-width table scans (a row
+store reads whole rows, unlike the columnar engine).
+
+* :mod:`repro.rowstore.index` — composite sorted indices,
+* :mod:`repro.rowstore.matview` — materialized aggregate views,
+* :mod:`repro.rowstore.design` — the :class:`RowstoreDesign` container,
+* :mod:`repro.rowstore.optimizer` — access-path selection and the what-if
+  cost model,
+* :mod:`repro.rowstore.storage` — row-major storage with real index scans
+  and view maintenance, for validation.
+"""
+
+from repro.rowstore.design import RowstoreDesign
+from repro.rowstore.index import Index
+from repro.rowstore.matview import MaterializedView
+from repro.rowstore.optimizer import RowstoreCostModel
+from repro.rowstore.storage import RowstoreDatabase, RowstoreExecutor
+
+__all__ = [
+    "Index",
+    "MaterializedView",
+    "RowstoreCostModel",
+    "RowstoreDatabase",
+    "RowstoreDesign",
+    "RowstoreExecutor",
+]

@@ -1,0 +1,123 @@
+"""Materialized aggregate views for the row store.
+
+A :class:`MaterializedView` pre-aggregates one table by a set of grouping
+columns and stores SUM/COUNT/MIN/MAX summaries for a set of measure
+columns.  A query can be answered from the view (rolled up) when:
+
+* it is an aggregate query over the same anchor table with no joins,
+* its GROUP BY columns are a subset of the view's grouping columns,
+* its filters touch only grouping columns (so the filter can be applied to
+  the view's rows), and
+* every requested aggregate can be re-derived from the stored summaries
+  (``SUM`` from SUM, ``COUNT`` from COUNT, ``AVG`` from SUM/COUNT,
+  ``MIN``/``MAX`` from MIN/MAX; ``DISTINCT`` aggregates cannot roll up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Table
+from repro.catalog.statistics import TableStatistics
+from repro.costing.profile import QueryProfile
+
+#: Stored summary width per measure (SUM, COUNT, MIN, MAX at 8 bytes each).
+MEASURE_BYTES = 32
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """An immutable materialized-view definition (hashable design atom)."""
+
+    table: str
+    group_columns: tuple[str, ...]
+    measure_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.group_columns:
+            raise ValueError("a materialized view needs grouping columns")
+        if len(set(self.group_columns)) != len(self.group_columns):
+            raise ValueError(f"duplicate group columns in view on {self.table!r}")
+        if len(set(self.measure_columns)) != len(self.measure_columns):
+            raise ValueError(f"duplicate measures in view on {self.table!r}")
+        overlap = set(self.group_columns) & set(self.measure_columns)
+        if overlap:
+            raise ValueError(f"columns {sorted(overlap)} are both group and measure")
+
+    @property
+    def group_set(self) -> frozenset[str]:
+        return frozenset(self.group_columns)
+
+    @property
+    def measure_set(self) -> frozenset[str]:
+        return frozenset(self.measure_columns)
+
+    def estimated_rows(self, statistics: TableStatistics) -> int:
+        """Expected view row count: the product of grouping NDVs, capped."""
+        rows = 1
+        for name in self.group_columns:
+            if name in statistics.columns:
+                rows *= max(1, statistics.columns[name].ndv)
+            rows = min(rows, statistics.row_count)
+        return max(1, rows)
+
+    def row_bytes(self, table: Table) -> int:
+        """Width of one view row."""
+        group_bytes = sum(
+            table.column(name).type.byte_width
+            for name in self.group_columns
+            if table.has_column(name)
+        )
+        return group_bytes + MEASURE_BYTES * max(len(self.measure_columns), 1)
+
+    def size_bytes(self, table: Table, statistics: TableStatistics) -> int:
+        """Estimated on-disk size."""
+        return self.estimated_rows(statistics) * self.row_bytes(table)
+
+    def answers(self, profile: QueryProfile) -> bool:
+        """Whether this view can answer ``profile`` by rollup."""
+        if profile.anchor.table != self.table or profile.dimensions:
+            return False
+        if not profile.has_aggregates:
+            return False
+        # Plain select columns must be grouping columns (SQL requires this
+        # for aggregate queries anyway).
+        if not set(profile.select_columns) <= self.group_set:
+            return False
+        if not set(profile.group_by) <= self.group_set:
+            return False
+        if not profile.anchor.predicate_columns <= self.group_set:
+            return False
+        if not set(profile.order_by) <= self.group_set | set(profile.select_columns):
+            # ORDER BY on aggregate outputs is fine; on base columns it must
+            # be a grouping column.  Aggregate aliases resolve upstream, so
+            # any order_by entry surviving here names a base column.
+            if not set(profile.order_by) <= self.group_set:
+                return False
+        for agg in profile.aggregates:
+            if agg.distinct:
+                return False
+            if agg.column is None:
+                continue  # COUNT(*) rolls up from stored COUNT
+            if agg.column not in self.measure_set:
+                return False
+        return True
+
+    def to_sql(self) -> str:
+        """Render the defining DDL (for logs and examples)."""
+        groups = ", ".join(self.group_columns)
+        measures = ", ".join(
+            f"SUM({m}), COUNT({m}), MIN({m}), MAX({m})" for m in self.measure_columns
+        )
+        select = groups if not measures else f"{groups}, {measures}, COUNT(*)"
+        name = f"mv_{self.table}_{'_'.join(self.group_columns)}"
+        return (
+            f"CREATE MATERIALIZED VIEW {name} AS "
+            f"SELECT {select} FROM {self.table} GROUP BY {groups}"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"mv({self.table}: by {','.join(self.group_columns)}"
+            f" / {','.join(self.measure_columns) or '-'})"
+        )

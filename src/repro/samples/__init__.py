@@ -1,0 +1,17 @@
+"""Approximate-database substrate: stratified-sample physical designs.
+
+Section 2 of the paper lists a third kind of physical design besides
+projections and indices/views: "Approximate databases use small samples of
+the data … Physical designs in these systems consist of different types of
+samples (e.g., stratified on different columns)" (BlinkDB-style systems).
+
+This package provides that design space — :class:`StratifiedSample` design
+atoms, a :class:`SampleDesign` container, and a what-if cost model — so
+CliffGuard can be exercised against a *third* engine through the very same
+black-box adapter interface.
+"""
+
+from repro.samples.design import SampleDesign, StratifiedSample
+from repro.samples.optimizer import SamplesCostModel
+
+__all__ = ["SampleDesign", "SamplesCostModel", "StratifiedSample"]

@@ -1,0 +1,126 @@
+"""Stratified-sample design atoms and the sample-design container.
+
+A :class:`StratifiedSample` keeps a ``fraction`` of a table's rows,
+sampled uniformly *within every combination of the strata columns* —
+which is what lets an aggregate query that filters or groups on those
+columns be answered from the sample with bounded error (every group is
+guaranteed representation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.schema import Schema, Table
+from repro.catalog.statistics import TableStatistics
+
+
+@dataclass(frozen=True)
+class StratifiedSample:
+    """An immutable stratified-sample definition (hashable design atom)."""
+
+    table: str
+    strata_columns: tuple[str, ...]
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not self.strata_columns:
+            raise ValueError("a stratified sample needs strata columns")
+        if len(set(self.strata_columns)) != len(self.strata_columns):
+            raise ValueError(f"duplicate strata columns on {self.table!r}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+    @property
+    def strata_set(self) -> frozenset[str]:
+        return frozenset(self.strata_columns)
+
+    def sample_rows(self, statistics: TableStatistics) -> int:
+        """Expected number of rows retained."""
+        return max(1, int(statistics.row_count * self.fraction))
+
+    def strata_cells(self, statistics: TableStatistics) -> int:
+        """Number of strata (product of the strata columns' NDVs, capped)."""
+        cells = 1
+        for name in self.strata_columns:
+            if name in statistics.columns:
+                cells *= max(1, statistics.columns[name].ndv)
+            cells = min(cells, statistics.row_count)
+        return max(1, cells)
+
+    def rows_per_stratum(self, statistics: TableStatistics) -> float:
+        """Average retained rows per stratum — the error lever."""
+        return self.sample_rows(statistics) / self.strata_cells(statistics)
+
+    def relative_error(self, statistics: TableStatistics) -> float:
+        """Rule-of-thumb relative error of a per-stratum mean: 1/√n."""
+        per_stratum = max(self.rows_per_stratum(statistics), 1.0)
+        return 1.0 / math.sqrt(per_stratum)
+
+    def size_bytes(self, table: Table, statistics: TableStatistics) -> int:
+        """On-disk size: retained rows at full row width."""
+        return self.sample_rows(statistics) * table.row_bytes
+
+    def to_sql(self) -> str:
+        """Render the defining DDL (for logs and examples)."""
+        name = f"smp_{self.table}_{'_'.join(self.strata_columns)}"
+        return (
+            f"CREATE SAMPLE {name} ON {self.table} "
+            f"STRATIFIED BY ({', '.join(self.strata_columns)}) "
+            f"FRACTION {self.fraction:g}"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"sample({self.table}: by {','.join(self.strata_columns)} "
+            f"@ {self.fraction:g})"
+        )
+
+
+@dataclass(frozen=True)
+class SampleDesign:
+    """An immutable set of stratified samples."""
+
+    samples: frozenset[StratifiedSample] = frozenset()
+
+    @classmethod
+    def of(cls, *samples: StratifiedSample) -> "SampleDesign":
+        return cls(frozenset(samples))
+
+    @classmethod
+    def empty(cls) -> "SampleDesign":
+        """No samples: every query runs exactly on the full table."""
+        return cls()
+
+    def with_sample(self, sample: StratifiedSample) -> "SampleDesign":
+        return SampleDesign(self.samples | {sample})
+
+    def for_table(self, table: str) -> list[StratifiedSample]:
+        return sorted(
+            (s for s in self.samples if s.table == table),
+            key=lambda s: (s.strata_columns, s.fraction),
+        )
+
+    def price(self, schema: Schema, statistics: dict[str, TableStatistics]) -> int:
+        """Total bytes of all samples — the paper's ``price(D)``."""
+        return sum(
+            sample.size_bytes(schema.table(sample.table), statistics[sample.table])
+            for sample in self.samples
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(
+            sorted(
+                self.samples,
+                key=lambda s: (s.table, s.strata_columns, s.fraction),
+            )
+        )
+
+    def describe(self) -> str:
+        if not self.samples:
+            return "(empty design)"
+        return "\n".join(str(s) for s in self)

@@ -1,0 +1,147 @@
+"""What-if cost model for stratified-sample designs.
+
+A sample can answer an aggregate query when every column the answer's
+correctness depends on — filters and groupings — is a stratum column, so
+each qualifying group is guaranteed representation in the sample.  The
+query then scans ``fraction`` of the table instead of all of it; queries
+no sample can serve run exactly on the base table.
+
+Costs are model milliseconds on the same scale as the other two engines.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Schema
+from repro.catalog.statistics import TableStatistics
+from repro.costing.profile import QueryProfile, QueryProfiler
+from repro.costing.report import WorkloadCostReport
+from repro.samples.design import SampleDesign, StratifiedSample
+
+#: Sequential scan cost per byte (matches the other engines).
+BYTE_COST_MS = 5e-6
+#: Per-row, per-predicate filter evaluation cost.
+PREDICATE_COST_MS = 1e-5
+#: Hash aggregation per input row.
+HASH_AGG_COST_MS = 2e-5
+#: Fixed per-query overhead.
+QUERY_OVERHEAD_MS = 1.0
+#: Queries whose estimated relative error would exceed this cannot be
+#: served approximately (the optimizer refuses, as AQP systems do).
+MAX_RELATIVE_ERROR = 0.12
+
+
+class SamplesCostModel:
+    """Prices queries against stratified-sample designs."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        statistics: dict[str, TableStatistics] | None = None,
+    ):
+        self.schema = schema
+        self.statistics = statistics or {
+            name: TableStatistics.declared(table)
+            for name, table in schema.tables.items()
+        }
+        self.profiler = QueryProfiler(schema, self.statistics)
+        self._sample_costs: dict[tuple[str, StratifiedSample], float | None] = {}
+
+    def profile(self, sql: str) -> QueryProfile:
+        """Parse and annotate ``sql`` (cached by exact text)."""
+        return self.profiler.profile(sql)
+
+    # -- serviceability -----------------------------------------------------------
+
+    def answers(self, profile: QueryProfile, sample: StratifiedSample) -> bool:
+        """Whether ``sample`` can answer ``profile`` with bounded error."""
+        if profile.anchor.table != sample.table or profile.dimensions:
+            return False
+        if not profile.has_aggregates:
+            return False  # samples answer aggregates, not row retrieval
+        if any(agg.distinct for agg in profile.aggregates):
+            return False  # COUNT(DISTINCT) does not scale from a sample
+        depends_on = profile.anchor.predicate_columns | set(profile.group_by)
+        if not depends_on <= sample.strata_set:
+            return False
+        stats = self.statistics[sample.table]
+        return sample.relative_error(stats) <= MAX_RELATIVE_ERROR
+
+    # -- costing --------------------------------------------------------------------
+
+    def _scan_cost(self, profile: QueryProfile, rows: float) -> float:
+        access = profile.anchor
+        cost = rows * access.needed_bytes * BYTE_COST_MS
+        cost += rows * access.predicate_count * PREDICATE_COST_MS
+        filtered = max(rows * access.total_selectivity, 1.0)
+        if profile.group_by or profile.has_aggregates:
+            cost += filtered * HASH_AGG_COST_MS
+        return cost
+
+    def sample_cost(
+        self, profile: QueryProfile, sample: StratifiedSample
+    ) -> float | None:
+        """Cost of answering ``profile`` from ``sample`` (None = cannot)."""
+        key = (profile.sql, sample)
+        if key in self._sample_costs:
+            return self._sample_costs[key]
+        if not self.answers(profile, sample):
+            cost = None
+        else:
+            stats = self.statistics[sample.table]
+            cost = self._scan_cost(profile, float(sample.sample_rows(stats)))
+        self._sample_costs[key] = cost
+        return cost
+
+    # DesignAdapter-compatible alias.
+    structure_cost = sample_cost
+
+    def exact_cost(self, profile: QueryProfile) -> float:
+        """Full-table (exact) execution cost."""
+        rows = float(self.statistics[profile.anchor.table].row_count)
+        dims = sum(
+            self._scan_cost_dim(d) for d in profile.dimensions
+        )
+        return self._scan_cost(profile, rows) + dims
+
+    def _scan_cost_dim(self, access) -> float:
+        rows = float(self.statistics[access.table].row_count)
+        return rows * access.row_bytes * BYTE_COST_MS
+
+    def query_cost(self, sql_or_profile, design: SampleDesign) -> float:
+        """Estimated latency (model ms) of one query under ``design``."""
+        profile = (
+            sql_or_profile
+            if isinstance(sql_or_profile, QueryProfile)
+            else self.profile(sql_or_profile)
+        )
+        best = self.exact_cost(profile)
+        for sample in design.for_table(profile.anchor.table):
+            cost = self.sample_cost(profile, sample)
+            if cost is not None and cost < best:
+                best = cost
+        return QUERY_OVERHEAD_MS + best
+
+    def choose_sample(
+        self, profile: QueryProfile, design: SampleDesign
+    ) -> StratifiedSample | None:
+        """The sample the optimizer would use (None = exact execution)."""
+        best_sample = None
+        best = self.exact_cost(profile)
+        for sample in design.for_table(profile.anchor.table):
+            cost = self.sample_cost(profile, sample)
+            if cost is not None and cost < best:
+                best_sample, best = sample, cost
+        return best_sample
+
+    def workload_cost(self, queries, design: SampleDesign) -> WorkloadCostReport:
+        """Cost every query in ``queries`` under ``design``."""
+        costs: list[float] = []
+        weights: list[float] = []
+        for query in queries:
+            if isinstance(query, str):
+                sql, weight = query, 1.0
+            else:
+                sql, weight = query.sql, float(query.frequency)
+            costs.append(self.query_cost(sql, design))
+            weights.append(weight)
+        return WorkloadCostReport(per_query_ms=costs, weights=weights)

@@ -1,0 +1,55 @@
+"""SQL substrate: a parser, AST, and analyzer for the OLAP subset used here.
+
+The paper treats each query as the sets of columns appearing in its
+``SELECT``, ``WHERE``, ``GROUP BY``, and ``ORDER BY`` clauses (Section 5).
+This package provides the machinery to go from SQL text to those clause-wise
+column sets:
+
+* :mod:`repro.sql.lexer` — tokenizer,
+* :mod:`repro.sql.ast` — typed AST nodes,
+* :mod:`repro.sql.parser` — recursive-descent parser,
+* :mod:`repro.sql.formatter` — AST back to canonical SQL text,
+* :mod:`repro.sql.analyzer` — clause-wise column extraction and template
+  fingerprints.
+"""
+
+from repro.sql.ast import (
+    Aggregate,
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    Join,
+    LikePredicate,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+)
+from repro.sql.analyzer import QueryTemplate, analyze, extract_template
+from repro.sql.formatter import format_statement
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import ParseError, parse
+
+__all__ = [
+    "Aggregate",
+    "BetweenPredicate",
+    "ColumnRef",
+    "ComparisonPredicate",
+    "InPredicate",
+    "Join",
+    "LikePredicate",
+    "Literal",
+    "OrderItem",
+    "ParseError",
+    "QueryTemplate",
+    "SelectItem",
+    "SelectStatement",
+    "Token",
+    "TokenType",
+    "analyze",
+    "extract_template",
+    "format_statement",
+    "parse",
+    "tokenize",
+]

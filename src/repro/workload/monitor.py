@@ -1,0 +1,136 @@
+"""Online workload-drift monitoring.
+
+Section 5 of the paper notes that quantifying SQL-workload change "will
+likely find many other applications beyond robust physical designs, e.g.,
+in workload monitoring".  This module is that application: a streaming
+monitor that maintains a reference window and a sliding current window,
+computes δ between them as queries arrive, and raises drift alarms that
+can drive re-design scheduling
+(:class:`repro.harness.scheduler.DriftTriggeredPolicy`) or alerting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.workload.distance import WorkloadDistance
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+
+@dataclass
+class DriftAlarm:
+    """One threshold crossing."""
+
+    at_day: float
+    distance: float
+    threshold: float
+
+
+@dataclass
+class DriftReading:
+    """One δ measurement of the sliding window against the reference."""
+
+    at_day: float
+    distance: float
+
+
+class WorkloadMonitor:
+    """Streaming drift monitor over a sliding query window.
+
+    Queries are observed in timestamp order.  The monitor keeps the last
+    ``window_days`` of queries as the *current* window; the *reference*
+    window is set explicitly (typically the workload the live design was
+    built for) and re-anchored via :meth:`rebase`.  Every
+    ``measure_every_days`` of trace time a δ reading is taken; readings
+    above ``threshold`` raise a :class:`DriftAlarm` (with a refractory
+    period so a sustained drift produces one alarm, not a storm).
+    """
+
+    def __init__(
+        self,
+        distance: WorkloadDistance,
+        threshold: float,
+        window_days: float = 28.0,
+        measure_every_days: float = 1.0,
+        refractory_days: float = 7.0,
+    ):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if window_days <= 0 or measure_every_days <= 0:
+            raise ValueError("window and measurement periods must be positive")
+        self.distance = distance
+        self.threshold = threshold
+        self.window_days = window_days
+        self.measure_every_days = measure_every_days
+        self.refractory_days = refractory_days
+        self._current: deque[WorkloadQuery] = deque()
+        self._reference: Workload | None = None
+        self._last_measure: float | None = None
+        self._last_alarm: float | None = None
+        self.readings: list[DriftReading] = []
+        self.alarms: list[DriftAlarm] = []
+
+    # -- reference management ----------------------------------------------------
+
+    def rebase(self, reference: Workload | None = None) -> None:
+        """Anchor the reference window (default: the current window)."""
+        if reference is None:
+            reference = Workload(list(self._current))
+        self._reference = reference
+        self._last_alarm = None
+
+    @property
+    def current_window(self) -> Workload:
+        """The sliding window's contents."""
+        return Workload(list(self._current))
+
+    # -- streaming ------------------------------------------------------------------
+
+    def observe(self, query: WorkloadQuery) -> DriftAlarm | None:
+        """Feed one query; returns an alarm if this observation raised one.
+
+        Queries must arrive in non-decreasing timestamp order.
+        """
+        if self._current and query.timestamp < self._current[-1].timestamp:
+            raise ValueError("queries must be observed in timestamp order")
+        self._current.append(query)
+        horizon = query.timestamp - self.window_days
+        while self._current and self._current[0].timestamp < horizon:
+            self._current.popleft()
+
+        if self._reference is None:
+            return None
+        if (
+            self._last_measure is not None
+            and query.timestamp - self._last_measure < self.measure_every_days
+        ):
+            return None
+        self._last_measure = query.timestamp
+        measured = self.distance(self._reference, self.current_window)
+        self.readings.append(DriftReading(at_day=query.timestamp, distance=measured))
+        if measured > self.threshold:
+            in_refractory = (
+                self._last_alarm is not None
+                and query.timestamp - self._last_alarm < self.refractory_days
+            )
+            if not in_refractory:
+                self._last_alarm = query.timestamp
+                alarm = DriftAlarm(
+                    at_day=query.timestamp,
+                    distance=measured,
+                    threshold=self.threshold,
+                )
+                self.alarms.append(alarm)
+                return alarm
+        return None
+
+    def observe_many(self, queries) -> list[DriftAlarm]:
+        """Feed a sequence of queries; returns all alarms raised."""
+        alarms = []
+        for query in queries:
+            alarm = self.observe(query)
+            if alarm is not None:
+                alarms.append(alarm)
+        return alarms

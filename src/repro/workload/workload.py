@@ -1,0 +1,166 @@
+"""Workload containers and template-frequency vectors.
+
+The paper models a workload ``W`` as a sparse vector ``V_W`` whose
+coordinates are query templates (column sets) and whose entries are
+normalized occurrence frequencies (Section 5).  :class:`Workload` carries
+the raw queries and materializes those vectors on demand.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.sql.analyzer import CLAUSES, QueryTemplate
+from repro.workload.query import WorkloadQuery
+
+#: Clause specifications: either a subset of SWGO clauses whose union forms
+#: the template key, or the sentinel "separate" for clause-wise 4-tuples.
+ClauseSpec = tuple[str, ...]
+SEPARATE = "separate"
+
+#: Template-vector keys: a flat column set, or a 4-tuple of clause sets.
+VectorKey = frozenset[str] | tuple[frozenset[str], ...]
+
+
+def template_key(template: QueryTemplate, clauses: ClauseSpec | str) -> VectorKey:
+    """Map a template to its vector coordinate under a clause spec."""
+    if clauses == SEPARATE:
+        return tuple(template.clause(name) for name in CLAUSES)
+    return template.restricted(tuple(clauses))
+
+
+class Workload:
+    """An immutable-ish sequence of weighted queries."""
+
+    def __init__(self, queries: Iterable[WorkloadQuery] = ()):
+        self.queries: list[WorkloadQuery] = list(queries)
+        self._vectors: dict[object, dict[VectorKey, float]] = {}
+
+    # -- basic container behaviour -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[WorkloadQuery]:
+        return iter(self.queries)
+
+    def __bool__(self) -> bool:
+        return bool(self.queries)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of query frequencies."""
+        return sum(q.frequency for q in self.queries)
+
+    @property
+    def span_days(self) -> tuple[float, float]:
+        """(first, last) timestamp, or (0, 0) when empty."""
+        if not self.queries:
+            return 0.0, 0.0
+        timestamps = [q.timestamp for q in self.queries]
+        return min(timestamps), max(timestamps)
+
+    # -- construction helpers --------------------------------------------------------
+
+    @classmethod
+    def from_sql(cls, statements: Iterable[str]) -> "Workload":
+        """Build a workload of unit-frequency queries from SQL strings."""
+        return cls(WorkloadQuery(sql=s) for s in statements)
+
+    def collapsed(self) -> "Workload":
+        """Collapse identical SQL into single entries with summed weight."""
+        weights: dict[str, float] = defaultdict(float)
+        first_seen: dict[str, WorkloadQuery] = {}
+        for query in self.queries:
+            weights[query.sql] += query.frequency
+            first_seen.setdefault(query.sql, query)
+        return Workload(
+            WorkloadQuery(
+                sql=sql,
+                timestamp=first_seen[sql].timestamp,
+                frequency=weight,
+            )
+            for sql, weight in weights.items()
+        )
+
+    def merged_with(self, other: "Workload") -> "Workload":
+        """Plain union of the two query lists (weights kept as-is)."""
+        return Workload([*self.queries, *other.queries])
+
+    def reweighted(self, weights: dict[str, float]) -> "Workload":
+        """Replace per-SQL weights (queries absent from ``weights`` drop)."""
+        result = []
+        for query in self.collapsed():
+            weight = weights.get(query.sql)
+            if weight is not None and weight > 0:
+                result.append(query.with_frequency(weight))
+        return Workload(result)
+
+    # -- template machinery ------------------------------------------------------------
+
+    def templates(self, clauses: ClauseSpec | str = tuple(CLAUSES)) -> set[VectorKey]:
+        """The distinct template keys present (empty templates excluded)."""
+        return set(self.template_vector(clauses))
+
+    def template_vector(
+        self, clauses: ClauseSpec | str = tuple(CLAUSES)
+    ) -> dict[VectorKey, float]:
+        """The paper's ``V_W``: normalized template-frequency vector.
+
+        Queries referencing no columns at all are ignored (the paper drops
+        trivia like ``SELECT version()``).  The vector is cached per clause
+        spec.
+        """
+        cache_key = clauses if isinstance(clauses, str) else tuple(clauses)
+        cached = self._vectors.get(cache_key)
+        if cached is not None:
+            return cached
+        raw: dict[VectorKey, float] = defaultdict(float)
+        total = 0.0
+        for query in self.queries:
+            template = query.template
+            if template.is_empty:
+                continue
+            key = template_key(template, clauses)
+            if not _key_nonempty(key):
+                continue
+            raw[key] += query.frequency
+            total += query.frequency
+        vector = (
+            {key: weight / total for key, weight in raw.items()} if total else {}
+        )
+        self._vectors[cache_key] = vector
+        return vector
+
+    def query_weight(self, sql: str) -> float:
+        """Normalized weight of one SQL text within this workload."""
+        total = self.total_weight
+        if total == 0:
+            return 0.0
+        weight = sum(q.frequency for q in self.queries if q.sql == sql)
+        return weight / total
+
+    def normalized_weights(self) -> dict[str, float]:
+        """Normalized weight per distinct SQL text."""
+        total = self.total_weight
+        if total == 0:
+            return {}
+        weights: dict[str, float] = defaultdict(float)
+        for query in self.queries:
+            weights[query.sql] += query.frequency
+        return {sql: w / total for sql, w in weights.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.span_days
+        return (
+            f"Workload({len(self.queries)} queries, weight={self.total_weight:.0f},"
+            f" days=[{lo:.1f}, {hi:.1f}])"
+        )
+
+
+def _key_nonempty(key: VectorKey) -> bool:
+    if isinstance(key, tuple):
+        return any(part for part in key)
+    return bool(key)

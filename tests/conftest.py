@@ -1,0 +1,102 @@
+"""Shared fixtures: small schemas, generated data, and tiny traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema, Table
+from repro.catalog.datagen import generate_database
+from repro.workload.generator import TraceGenerator, build_star_schema, r1_profile
+
+
+@pytest.fixture
+def sales_schema() -> Schema:
+    """A two-table schema used across engine unit tests."""
+    schema = Schema()
+    schema.add_table(
+        Table(
+            "sales",
+            [
+                Column("store", ColumnType.INT, ndv=50),
+                Column("product", ColumnType.INT, ndv=200),
+                Column("amount", ColumnType.FLOAT, ndv=1000),
+                Column("day", ColumnType.DATE, ndv=365),
+                Column("channel", ColumnType.STRING, ndv=5),
+                Column("flag", ColumnType.BOOL, ndv=2),
+            ],
+            row_count=5_000,
+            foreign_keys=[ForeignKey("store", "stores", "store_id")],
+        )
+    )
+    schema.add_table(
+        Table(
+            "stores",
+            [
+                Column("store_id", ColumnType.INT, ndv=50),
+                Column("region", ColumnType.INT, ndv=5),
+                Column("size_class", ColumnType.INT, ndv=3),
+            ],
+            row_count=50,
+        )
+    )
+    return schema
+
+
+@pytest.fixture
+def sales_data(sales_schema):
+    """Deterministic generated data for :func:`sales_schema`."""
+    return generate_database(sales_schema, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_star():
+    """A small star schema + roles for workload/designer tests."""
+    return build_star_schema(
+        fact_tables=2,
+        fact_rows=1_000_000,
+        fact_attributes=12,
+        legacy_tables=5,
+        legacy_columns=4,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_star):
+    """A 70-day trace on the tiny star schema (deterministic)."""
+    schema, roles = tiny_star
+    profile = r1_profile(queries_per_day=8, topic_count=3, templates_per_topic=4)
+    generator = TraceGenerator(schema, roles, profile, seed=5)
+    return generator.generate(days=70)
+
+
+@pytest.fixture
+def columnar_adapter(tiny_star):
+    """Columnar adapter over the tiny star schema (declared statistics)."""
+    from repro.designers.base import ColumnarAdapter, default_budget_bytes
+    from repro.engine.optimizer import ColumnarCostModel
+
+    schema, _ = tiny_star
+    return ColumnarAdapter(
+        ColumnarCostModel(schema), default_budget_bytes(schema, 0.5)
+    )
+
+
+@pytest.fixture
+def rowstore_adapter(tiny_star):
+    """Row-store adapter over the tiny star schema."""
+    from repro.designers.base import RowstoreAdapter, default_budget_bytes
+    from repro.rowstore.optimizer import RowstoreCostModel
+
+    schema, _ = tiny_star
+    return RowstoreAdapter(
+        RowstoreCostModel(schema), default_budget_bytes(schema, 0.5)
+    )
+
+
+@pytest.fixture
+def tiny_windows(tiny_trace):
+    """28-day windows of the tiny trace."""
+    from repro.workload.windows import split_windows
+
+    return split_windows(tiny_trace, 28)

@@ -1,0 +1,67 @@
+"""CLI tests (micro scale so they stay fast)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--days", "84", "--queries-per-day", "6", "--samples", "3",
+    "--transitions", "1", "--seed", "2",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.workload == "R1"
+        assert args.days == 196
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--workload", "XX"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "schema:" in out
+        assert "Γ" in out
+
+    def test_drift(self, capsys):
+        assert main(["drift", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "R1" in out and "S1" in out and "S2" in out
+
+    def test_design_nominal(self, capsys):
+        assert main(["design", "--designer", "ExistingDesigner", "--limit", "3", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE PROJECTION" in out
+
+    def test_design_rowstore(self, capsys):
+        assert (
+            main(
+                [
+                    "design",
+                    "--engine",
+                    "rowstore",
+                    "--designer",
+                    "ExistingDesigner",
+                    *FAST,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "CREATE" in out
+
+    def test_compare_small(self, capsys):
+        assert (
+            main(["compare", *FAST]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "CliffGuard" in out and "NoDesign" in out

@@ -1,0 +1,118 @@
+"""Tests for the generic continuous BNT robust optimizer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bnt import (
+    bnt_minimize,
+    descent_direction,
+    find_worst_neighbors,
+    min_norm_point,
+    sample_ball,
+)
+
+
+class TestSampleBall:
+    def test_all_points_within_radius(self):
+        rng = np.random.default_rng(0)
+        center = np.array([1.0, -2.0])
+        points = sample_ball(center, 0.5, 100, rng)
+        distances = np.linalg.norm(points - center, axis=1)
+        assert (distances <= 0.5 + 1e-9).all()
+
+    def test_includes_center_and_boundary(self):
+        rng = np.random.default_rng(0)
+        center = np.zeros(2)
+        points = sample_ball(center, 1.0, 10, rng)
+        norms = np.linalg.norm(points, axis=1)
+        assert np.isclose(norms, 0.0).any()
+        assert np.isclose(norms, 1.0).sum() >= 4  # axis boundary points
+
+
+class TestMinNormPoint:
+    def test_single_vector(self):
+        v = np.array([[3.0, 4.0]])
+        assert np.allclose(min_norm_point(v), [3.0, 4.0])
+
+    def test_origin_inside_hull(self):
+        vectors = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        assert np.linalg.norm(min_norm_point(vectors)) < 1e-4
+
+    def test_offset_segment(self):
+        vectors = np.array([[1.0, 1.0], [-1.0, 1.0]])
+        z = min_norm_point(vectors)
+        assert np.allclose(z, [0.0, 1.0], atol=1e-4)
+
+
+class TestDescentDirection:
+    def test_single_worst_neighbor(self):
+        offsets = np.array([[0.0, 1.0]])
+        d = descent_direction(offsets)
+        assert np.allclose(d, [0.0, -1.0], atol=1e-6)
+
+    def test_surrounded_means_converged(self):
+        offsets = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        assert descent_direction(offsets) is None
+
+    def test_two_neighbors_bisected(self):
+        offsets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        d = descent_direction(offsets)
+        expected = -np.array([1.0, 1.0]) / np.sqrt(2)
+        assert np.allclose(d, expected, atol=1e-4)
+
+    def test_empty_offsets(self):
+        assert descent_direction(np.zeros((0, 2))) is None
+
+
+class TestWorstNeighbors:
+    def test_finds_direction_of_increase(self):
+        f = lambda x: float(x[0])  # increases along +x
+        rng = np.random.default_rng(1)
+        offsets, worst = find_worst_neighbors(f, np.zeros(2), 1.0, rng)
+        assert worst == pytest.approx(1.0, abs=0.05)
+        # worst neighbors concentrate near +x boundary
+        mean_direction = offsets.mean(axis=0)
+        assert mean_direction[0] > 0.5
+
+
+class TestBNTMinimize:
+    def test_convex_quadratic(self):
+        """Robust minimum of ‖x‖² over Γ-balls is x* = 0."""
+        f = lambda x: float(x @ x)
+        result = bnt_minimize(f, np.array([3.0, -2.0]), gamma=0.5, seed=2)
+        assert np.linalg.norm(result.x) < 0.35
+        assert result.worst_case == pytest.approx((np.linalg.norm(result.x) + 0.5) ** 2, rel=0.3)
+
+    def test_shifted_quadratic(self):
+        target = np.array([1.0, 2.0])
+        f = lambda x: float((x - target) @ (x - target))
+        result = bnt_minimize(f, np.array([-2.0, -2.0]), gamma=0.4, seed=3)
+        assert np.linalg.norm(result.x - target) < 0.4
+
+    def test_asymmetric_valley_prefers_flat_side(self):
+        """A robust optimum sits away from the steep wall (Figure 2's story:
+        the nominal optimum at the cliff edge is not robust)."""
+
+        def f(x):
+            # valley at 0 with a steep wall on the right
+            t = float(x[0])
+            return t * t if t < 0 else 25.0 * t * t
+
+        result = bnt_minimize(f, np.array([0.5]), gamma=0.5, seed=4)
+        # the robust minimizer must move left of the nominal optimum 0
+        assert result.x[0] < -0.05
+        nominal_worst = max(f(np.array([0.5])), f(np.array([-0.5])))
+        assert result.worst_case < nominal_worst
+
+    def test_history_monotone_nonincreasing(self):
+        f = lambda x: float(x @ x)
+        result = bnt_minimize(f, np.array([2.0, 2.0]), gamma=0.3, seed=5)
+        history = result.worst_case_history
+        assert all(b <= a + 1e-9 for a, b in zip(history, history[1:]))
+
+    def test_converged_flag_set_at_optimum(self):
+        f = lambda x: float(x @ x)
+        result = bnt_minimize(
+            f, np.zeros(2), gamma=0.5, max_iterations=40, seed=6
+        )
+        assert result.converged

@@ -1,0 +1,130 @@
+"""Tests for the CliffGuard designer (Algorithm 2)."""
+
+import pytest
+
+from repro.core.cliffguard import CliffGuard
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.workload.distance import WorkloadDistance
+from repro.workload.sampler import NeighborhoodSampler
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def parts(tiny_star, tiny_trace, tiny_windows, columnar_adapter):
+    schema, _ = tiny_star
+    window = tiny_windows[1]
+    distance = WorkloadDistance(schema.total_columns)
+    pool = [q for q in tiny_trace if q.timestamp < window.span_days[0]]
+    sampler = NeighborhoodSampler(
+        distance, schema, pool=pool, seed=3, min_query_set=4, max_query_set=8
+    )
+    nominal = ColumnarNominalDesigner(columnar_adapter)
+    return columnar_adapter, nominal, sampler, window
+
+
+class TestParameters:
+    def test_invalid_parameters_rejected(self, parts):
+        adapter, nominal, sampler, _ = parts
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=-1.0)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, worst_fraction=0.0)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, lambda_success=0.9)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, lambda_failure=1.5)
+
+
+class TestDegenerateCases:
+    def test_gamma_zero_equals_nominal(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(nominal, adapter, sampler, gamma=0.0)
+        assert robust.design(window) == nominal.design(window)
+
+    def test_zero_iterations_equals_nominal(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(nominal, adapter, sampler, gamma=0.01, max_iterations=0)
+        assert robust.design(window) == nominal.design(window)
+
+    def test_empty_workload(self, parts):
+        adapter, nominal, sampler, _ = parts
+        robust = CliffGuard(nominal, adapter, sampler, gamma=0.01)
+        assert len(robust.design(Workload([]))) == 0
+
+
+class TestAlgorithm:
+    def test_design_within_budget(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=4, max_iterations=3
+        )
+        design = robust.design(window)
+        assert adapter.design_price(design) <= adapter.budget_bytes
+        assert len(design) > 0
+
+    def test_worst_case_history_never_increases(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=4, max_iterations=4
+        )
+        robust.design(window)
+        history = robust.last_report.worst_case_history
+        assert all(b <= a + 1e-9 for a, b in zip(history, history[1:]))
+
+    def test_designer_calls_counted(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=4, max_iterations=3
+        )
+        robust.design(window)
+        report = robust.last_report
+        assert report.designer_calls == 1 + report.iterations
+
+    def test_alpha_adapts_on_success_and_failure(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal,
+            adapter,
+            sampler,
+            gamma=0.005,
+            n_samples=4,
+            max_iterations=4,
+            lambda_success=5.0,
+            lambda_failure=0.5,
+        )
+        robust.design(window)
+        report = robust.last_report
+        alphas = report.alpha_history
+        # every consecutive pair differs by exactly ×5 or ×0.5
+        for a, b in zip(alphas, alphas[1:]):
+            assert b == pytest.approx(a * 5.0) or b == pytest.approx(a * 0.5)
+
+    def test_patience_stops_early(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal,
+            adapter,
+            sampler,
+            gamma=1e-9,  # neighborhood ≈ base: no move can improve
+            n_samples=2,
+            max_iterations=10,
+            patience=1,
+        )
+        robust.design(window)
+        assert robust.last_report.iterations <= 3
+
+    def test_robust_design_no_worse_on_sampled_worst_case(self, parts):
+        """The defining guarantee: CliffGuard's output is at least as good
+        as the nominal design on the sampled worst case."""
+        adapter, nominal, sampler, window = parts
+        gamma = 0.005
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=gamma, n_samples=4, max_iterations=3
+        )
+        robust_design = robust.design(window)
+        nominal_design = nominal.design(window)
+        neighborhood = [window] + sampler.sample(window, gamma, 4)
+        worst = lambda design: max(
+            adapter.workload_cost(w, design).average_ms for w in neighborhood
+        )
+        assert worst(robust_design) <= worst(nominal_design) * 1.05

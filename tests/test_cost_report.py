@@ -1,0 +1,29 @@
+"""Direct tests for the shared workload cost report."""
+
+import pytest
+
+from repro.costing.report import WorkloadCostReport
+
+
+class TestWorkloadCostReport:
+    def test_weighted_average(self):
+        report = WorkloadCostReport(per_query_ms=[10.0, 30.0], weights=[3.0, 1.0])
+        assert report.average_ms == pytest.approx((30.0 + 30.0) / 4.0)
+
+    def test_max_ignores_weights(self):
+        report = WorkloadCostReport(per_query_ms=[10.0, 30.0], weights=[100.0, 0.5])
+        assert report.max_ms == 30.0
+
+    def test_total_is_weighted_sum(self):
+        report = WorkloadCostReport(per_query_ms=[10.0, 30.0], weights=[2.0, 1.0])
+        assert report.total_ms == pytest.approx(50.0)
+
+    def test_empty_report(self):
+        report = WorkloadCostReport(per_query_ms=[], weights=[])
+        assert report.average_ms == 0.0
+        assert report.max_ms == 0.0
+        assert report.total_ms == 0.0
+
+    def test_zero_weights(self):
+        report = WorkloadCostReport(per_query_ms=[5.0], weights=[0.0])
+        assert report.average_ms == 0.0

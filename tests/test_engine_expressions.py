@@ -1,0 +1,99 @@
+"""Unit tests for vectorized predicate evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import (
+    ExpressionError,
+    evaluate_conjunction,
+    evaluate_predicate,
+)
+from repro.engine.storage import ColumnData
+from repro.sql.parser import parse
+
+
+def preds(where: str):
+    return parse(f"SELECT a FROM t WHERE {where}").where
+
+
+@pytest.fixture
+def columns():
+    return {
+        "a": ColumnData(np.array([1, 2, 3, 4, 5], dtype=np.int64)),
+        "f": ColumnData(np.array([1.0, 2.0, np.nan, 4.0, 5.0])),
+        "s": ColumnData(
+            np.array([0, 1, 2, 0, 1], dtype=np.int64),
+            dictionary=np.array(["apple", "banana", "cherry"], dtype=object),
+        ),
+    }
+
+
+class TestComparisons:
+    def test_equality(self, columns):
+        mask = evaluate_predicate(preds("a = 3")[0], columns)
+        assert mask.tolist() == [False, False, True, False, False]
+
+    @pytest.mark.parametrize(
+        "where,expected",
+        [
+            ("a != 3", [True, True, False, True, True]),
+            ("a < 3", [True, True, False, False, False]),
+            ("a <= 3", [True, True, True, False, False]),
+            ("a > 3", [False, False, False, True, True]),
+            ("a >= 3", [False, False, True, True, True]),
+        ],
+    )
+    def test_all_operators(self, columns, where, expected):
+        assert evaluate_predicate(preds(where)[0], columns).tolist() == expected
+
+    def test_comparison_with_null_matches_nothing(self, columns):
+        mask = evaluate_predicate(preds("a = NULL")[0], columns)
+        assert not mask.any()
+
+
+class TestOtherPredicates:
+    def test_between_inclusive(self, columns):
+        mask = evaluate_predicate(preds("a BETWEEN 2 AND 4")[0], columns)
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_in_list(self, columns):
+        mask = evaluate_predicate(preds("a IN (1, 5)")[0], columns)
+        assert mask.tolist() == [True, False, False, False, True]
+
+    def test_like_on_dictionary_column(self, columns):
+        mask = evaluate_predicate(preds("s LIKE 'a%'")[0], columns)
+        assert mask.tolist() == [True, False, False, True, False]
+
+    def test_like_underscore(self, columns):
+        mask = evaluate_predicate(preds("s LIKE 'b_nana'")[0], columns)
+        assert mask.tolist() == [False, True, False, False, True]
+
+    def test_is_null_on_float(self, columns):
+        mask = evaluate_predicate(preds("f IS NULL")[0], columns)
+        assert mask.tolist() == [False, False, True, False, False]
+
+    def test_is_not_null(self, columns):
+        mask = evaluate_predicate(preds("f IS NOT NULL")[0], columns)
+        assert mask.tolist() == [True, True, False, True, True]
+
+    def test_string_equality_via_dictionary(self, columns):
+        mask = evaluate_predicate(preds("s = 'banana'")[0], columns)
+        assert mask.tolist() == [False, True, False, False, True]
+
+    def test_string_equality_unknown_value(self, columns):
+        mask = evaluate_predicate(preds("s = 'durian'")[0], columns)
+        assert not mask.any()
+
+
+class TestConjunction:
+    def test_empty_conjunction_is_all_true(self, columns):
+        mask = evaluate_conjunction((), columns, 5)
+        assert mask.all() and mask.shape == (5,)
+
+    def test_and_combines(self, columns):
+        mask = evaluate_conjunction(preds("a > 1 AND a < 5"), columns, 5)
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_missing_column_raises(self, columns):
+        with pytest.raises(ExpressionError):
+            evaluate_predicate(preds("zzz = 1")[0], columns)

@@ -1,0 +1,112 @@
+"""Unit tests for columnar storage and projection materialization."""
+
+import numpy as np
+import pytest
+
+from repro.engine.design import PhysicalDesign
+from repro.engine.projection import Projection, SortColumn
+from repro.engine.storage import ColumnarDatabase, ColumnarTable
+
+
+@pytest.fixture
+def database(sales_schema, sales_data) -> ColumnarDatabase:
+    return ColumnarDatabase(sales_schema, sales_data)
+
+
+class TestColumnarTable:
+    def test_missing_column_rejected(self, sales_schema, sales_data):
+        del sales_data["sales"]["amount"]
+        with pytest.raises(ValueError):
+            ColumnarTable(sales_schema.table("sales"), sales_data["sales"])
+
+    def test_ragged_columns_rejected(self, sales_schema, sales_data):
+        sales_data["sales"]["amount"] = sales_data["sales"]["amount"][:-1]
+        with pytest.raises(ValueError):
+            ColumnarTable(sales_schema.table("sales"), sales_data["sales"])
+
+    def test_super_projection_always_present(self, database):
+        table = database.table("sales")
+        assert table.super_projection.projection.is_super
+        assert table.super_projection.row_count == table.row_count
+
+    def test_materialized_projection_is_sorted(self, database):
+        table = database.table("sales")
+        projection = Projection("sales", ("product", "amount"), (SortColumn("product"),))
+        materialized = table.materialize(projection)
+        keys = materialized.sort_key_values()
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_materialization_preserves_multiset(self, database, sales_data):
+        table = database.table("sales")
+        projection = Projection("sales", ("store", "day"), (SortColumn("day"),))
+        materialized = table.materialize(projection)
+        assert np.array_equal(
+            np.sort(materialized.columns["store"].values),
+            np.sort(sales_data["sales"]["store"]),
+        )
+
+    def test_descending_sort(self, database):
+        table = database.table("sales")
+        projection = Projection(
+            "sales", ("day", "store"), (SortColumn("day", ascending=False),)
+        )
+        materialized = table.materialize(projection)
+        values = materialized.columns["day"].values
+        assert np.all(np.diff(values) <= 0)
+
+    def test_lexicographic_secondary_sort(self, database):
+        table = database.table("sales")
+        projection = Projection(
+            "sales", ("store", "day"), (SortColumn("store"), SortColumn("day"))
+        )
+        materialized = table.materialize(projection)
+        stores = materialized.columns["store"].values
+        days = materialized.columns["day"].values
+        same_store = stores[1:] == stores[:-1]
+        assert np.all(np.diff(days)[same_store] >= 0)
+
+    def test_materialize_is_idempotent(self, database):
+        table = database.table("sales")
+        projection = Projection("sales", ("store",), (SortColumn("store"),))
+        first = table.materialize(projection)
+        second = table.materialize(projection)
+        assert first is second
+
+    def test_wrong_anchor_rejected(self, database):
+        table = database.table("sales")
+        projection = Projection("stores", ("region",), (SortColumn("region"),))
+        with pytest.raises(ValueError):
+            table.materialize(projection)
+
+    def test_string_columns_get_dictionary(self, database):
+        data = database.table("sales").columns["channel"]
+        assert data.dictionary is not None
+        decoded = data.decode()
+        assert decoded[0].startswith("val_")
+
+    def test_encode_literal_round_trips_strings(self, database):
+        data = database.table("sales").columns["channel"]
+        code = data.encode_literal("val_2")
+        assert data.dictionary[code] == "val_2"
+        assert data.encode_literal("no_such_value") == -1
+        assert data.encode_literal(3) == 3  # non-strings pass through
+
+
+class TestColumnarDatabase:
+    def test_requires_data_for_every_table(self, sales_schema, sales_data):
+        del sales_data["stores"]
+        with pytest.raises(ValueError):
+            ColumnarDatabase(sales_schema, sales_data)
+
+    def test_deploy_counts_new_materializations(self, database):
+        design = PhysicalDesign.of(
+            Projection("sales", ("store",), (SortColumn("store"),)),
+            Projection("stores", ("region",), (SortColumn("region"),)),
+        )
+        assert database.deploy(design) == 2
+        assert database.deploy(design) == 0  # idempotent
+
+    def test_measured_statistics_row_counts(self, database):
+        stats = database.measured_statistics()
+        assert stats["sales"].row_count == 5000
+        assert stats["stores"].row_count == 50

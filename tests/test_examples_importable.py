@@ -1,0 +1,28 @@
+"""Every example script must at least import cleanly.
+
+Full example runs take minutes (they replay months of workload); the test
+suite guards the cheap invariant that the scripts stay in sync with the
+library's public API.  Each script guards its work behind
+``if __name__ == "__main__"``, so importing executes no heavy code.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the library ships at least three examples"

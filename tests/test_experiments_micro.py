@@ -1,0 +1,82 @@
+"""Micro-scale tests for the remaining experiment entry points."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    run_fig6,
+    run_gamma_sweep,
+    run_latency_metric_correlation,
+    run_offline_time,
+    run_sample_size_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    scale = ExperimentScale(
+        days=84,
+        window_days=28,
+        queries_per_day=6,
+        n_samples=3,
+        iterations=1,
+        legacy_tables=5,
+        max_transitions=1,
+        skip_transitions=1,
+    )
+    return ExperimentContext(scale)
+
+
+class TestGammaSweep:
+    def test_zero_gamma_matches_nominal_branch(self, context):
+        base = context.default_gamma("R1")
+        sweep = run_gamma_sweep(context, "R1", gammas=[0.0, base])
+        assert set(sweep) == {0.0, base}
+        for avg, mx in sweep.values():
+            assert 0 < avg <= mx
+
+
+class TestOfflineTime:
+    def test_rows_per_designer(self, context):
+        rows = run_offline_time(
+            context, which=["NoDesign", "ExistingDesigner", "CliffGuard"]
+        )
+        names = {r.designer for r in rows}
+        assert names == {"NoDesign", "ExistingDesigner", "CliffGuard"}
+        by_name = {r.designer: r for r in rows}
+        assert by_name["NoDesign"].deployment_seconds == 0.0
+        assert by_name["ExistingDesigner"].deployment_seconds > 0
+        assert (
+            by_name["CliffGuard"].design_seconds
+            >= by_name["ExistingDesigner"].design_seconds
+        )
+
+
+class TestFig6Micro:
+    def test_points_sorted_and_positive(self, context):
+        points = run_fig6(context, n_probes=3, anchors=1, repeats=1)
+        assert points == sorted(points)
+        assert all(latency > 0 for _, latency in points)
+
+
+class TestLatencyMetricCorrelation:
+    def test_curves_per_omega(self, context):
+        curves = run_latency_metric_correlation(
+            context, omegas=(0.1, 0.2), n_probes=4
+        )
+        assert set(curves) == {0.1, 0.2}
+        for points in curves.values():
+            assert len(points) == 4
+            assert all(ratio > 0 for _, ratio in points)
+            # δ_latency distances are sorted ascending.
+            xs = [d for d, _ in points]
+            assert xs == sorted(xs)
+
+
+class TestSampleSizeSweep:
+    def test_each_size_reported(self, context):
+        results = run_sample_size_sweep(context, sample_sizes=(2, 4))
+        assert set(results) == {2, 4}
+        for avg, mx in results.values():
+            assert 0 < avg <= mx

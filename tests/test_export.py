@@ -1,0 +1,72 @@
+"""Tests for result export helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness.export import (
+    replay_to_csv,
+    replay_to_json,
+    replay_to_rows,
+    series_to_csv,
+    table_to_csv,
+)
+from repro.harness.replay import DesignerRun, ReplayResult, WindowOutcome
+
+
+@pytest.fixture
+def result() -> ReplayResult:
+    r = ReplayResult(workload_name="R1")
+    r.runs["A"] = DesignerRun(
+        name="A",
+        windows=[
+            WindowOutcome(0, 10.0, 100.0, 1.0, 1000, 3),
+            WindowOutcome(1, 20.0, 200.0, 2.0, 2000, 4),
+        ],
+    )
+    r.runs["B"] = DesignerRun(
+        name="B", windows=[WindowOutcome(0, 5.0, 50.0, 0.5, 500, 1)]
+    )
+    return r
+
+
+class TestReplayExport:
+    def test_rows_flattening(self, result):
+        rows = replay_to_rows(result)
+        assert len(rows) == 3
+        assert {r["designer"] for r in rows} == {"A", "B"}
+        assert rows[0]["workload"] == "R1"
+
+    def test_csv_round_trips(self, result):
+        text = replay_to_csv(result)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 3
+        assert float(parsed[0]["average_ms"]) == 10.0
+
+    def test_csv_empty_result(self):
+        assert replay_to_csv(ReplayResult(workload_name="x")) == ""
+
+    def test_json_contains_means(self, result):
+        payload = json.loads(replay_to_json(result))
+        assert payload["workload"] == "R1"
+        assert payload["designers"]["A"]["mean_average_ms"] == pytest.approx(15.0)
+        assert len(payload["designers"]["A"]["windows"]) == 2
+
+    def test_json_compact_mode(self, result):
+        text = replay_to_json(result, indent=None)
+        assert "\n" not in text
+
+
+class TestGenericExport:
+    def test_series(self):
+        text = series_to_csv("gamma", "latency", [(0.0, 1.5), (0.1, 2.5)])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["gamma", "latency"]
+        assert parsed[2] == ["0.1", "2.5"]
+
+    def test_table(self):
+        text = table_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed == [["a", "b"], ["1", "2"], ["3", "4"]]

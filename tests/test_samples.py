@@ -1,0 +1,175 @@
+"""Tests for the stratified-sample (AQP) design space."""
+
+import pytest
+
+from repro.catalog.statistics import TableStatistics
+from repro.core.cliffguard import CliffGuard
+from repro.designers.base import SamplesAdapter, default_budget_bytes
+from repro.designers.samples_nominal import SamplesNominalDesigner
+from repro.samples.design import SampleDesign, StratifiedSample
+from repro.samples.optimizer import SamplesCostModel
+from repro.workload.distance import WorkloadDistance
+from repro.workload.sampler import NeighborhoodSampler
+
+
+@pytest.fixture
+def model(sales_schema) -> SamplesCostModel:
+    """Cost model over benchmark-scale declared statistics: sampling only
+    pays off on large tables, and the error cap rightly rejects tiny ones."""
+    from repro.catalog.schema import Schema, Table
+
+    big = Schema()
+    for table in sales_schema.tables.values():
+        big.add_table(
+            Table(
+                table.name,
+                list(table.columns),
+                row_count=5_000_000 if table.name == "sales" else table.row_count,
+            )
+        )
+    return SamplesCostModel(big)
+
+
+class TestStratifiedSample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StratifiedSample("t", (), 0.1)
+        with pytest.raises(ValueError):
+            StratifiedSample("t", ("a", "a"), 0.1)
+        with pytest.raises(ValueError):
+            StratifiedSample("t", ("a",), 0.0)
+        with pytest.raises(ValueError):
+            StratifiedSample("t", ("a",), 1.5)
+
+    def test_sample_rows_and_size(self, sales_schema, model):
+        sample = StratifiedSample("sales", ("store",), 0.1)
+        stats = model.statistics["sales"]
+        assert sample.sample_rows(stats) == 500_000
+        table = sales_schema.table("sales")
+        assert sample.size_bytes(table, stats) == 500_000 * table.row_bytes
+
+    def test_error_decreases_with_fraction(self, model):
+        stats = model.statistics["sales"]
+        small = StratifiedSample("sales", ("store",), 0.01)
+        large = StratifiedSample("sales", ("store",), 0.2)
+        assert large.relative_error(stats) < small.relative_error(stats)
+
+    def test_more_strata_means_more_error(self, model):
+        stats = model.statistics["sales"]
+        coarse = StratifiedSample("sales", ("store",), 0.1)
+        fine = StratifiedSample("sales", ("store", "product"), 0.1)
+        assert fine.relative_error(stats) > coarse.relative_error(stats)
+
+    def test_to_sql(self):
+        ddl = StratifiedSample("sales", ("store", "day"), 0.05).to_sql()
+        assert "STRATIFIED BY (store, day)" in ddl
+
+
+class TestServiceability:
+    def test_answers_matching_aggregate(self, model):
+        sample = StratifiedSample("sales", ("store", "day"), 0.3)
+        profile = model.profile(
+            "SELECT sales.store, SUM(sales.amount) FROM sales "
+            "WHERE sales.day < 100 GROUP BY sales.store"
+        )
+        assert model.answers(profile, sample)
+
+    def test_rejects_uncovered_filter(self, model):
+        sample = StratifiedSample("sales", ("store",), 0.2)
+        profile = model.profile(
+            "SELECT SUM(sales.amount) FROM sales WHERE sales.product = 1"
+        )
+        assert not model.answers(profile, sample)
+
+    def test_rejects_non_aggregate(self, model):
+        sample = StratifiedSample("sales", ("store",), 0.2)
+        profile = model.profile("SELECT sales.amount FROM sales WHERE sales.store = 1")
+        assert not model.answers(profile, sample)
+
+    def test_rejects_distinct(self, model):
+        sample = StratifiedSample("sales", ("store",), 0.2)
+        profile = model.profile(
+            "SELECT COUNT(DISTINCT sales.amount) FROM sales WHERE sales.store = 1"
+        )
+        assert not model.answers(profile, sample)
+
+    def test_rejects_excessive_error(self, model):
+        # A minuscule fraction over fine strata → error above the cap.
+        sample = StratifiedSample("sales", ("store", "product", "day"), 0.001)
+        profile = model.profile(
+            "SELECT SUM(sales.amount) FROM sales WHERE sales.store = 1 AND sales.product = 2 AND sales.day = 3"
+        )
+        assert not model.answers(profile, sample)
+
+
+class TestCosting:
+    def test_sample_cheaper_than_exact(self, model):
+        sample = StratifiedSample("sales", ("store",), 0.2)
+        sql = "SELECT SUM(sales.amount) FROM sales WHERE sales.store = 1"
+        exact = model.query_cost(sql, SampleDesign.empty())
+        approx = model.query_cost(sql, SampleDesign.of(sample))
+        assert approx < exact
+
+    def test_unusable_sample_is_ignored(self, model):
+        sample = StratifiedSample("sales", ("day",), 0.2)
+        sql = "SELECT SUM(sales.amount) FROM sales WHERE sales.store = 1"
+        assert model.query_cost(sql, SampleDesign.of(sample)) == pytest.approx(
+            model.query_cost(sql, SampleDesign.empty())
+        )
+
+    def test_choose_sample(self, model):
+        good = StratifiedSample("sales", ("store",), 0.05)
+        better = StratifiedSample("sales", ("store",), 0.02)
+        sql = "SELECT SUM(sales.amount) FROM sales WHERE sales.store = 1"
+        design = SampleDesign.of(good, better)
+        assert model.choose_sample(model.profile(sql), design) == better
+
+
+class TestSamplesDesigner:
+    @pytest.fixture
+    def adapter(self, tiny_star):
+        schema, _ = tiny_star
+        return SamplesAdapter(
+            SamplesCostModel(schema), default_budget_bytes(schema, 0.1)
+        )
+
+    def test_design_improves_workload(self, adapter, tiny_windows):
+        designer = SamplesNominalDesigner(adapter)
+        window = tiny_windows[1]
+        design = designer.design(window)
+        assert len(design) > 0
+        assert (
+            adapter.workload_cost(window, design).average_ms
+            < adapter.workload_cost(window, adapter.empty_design()).average_ms
+        )
+
+    def test_design_within_budget(self, adapter, tiny_windows):
+        designer = SamplesNominalDesigner(adapter)
+        design = designer.design(tiny_windows[1])
+        assert adapter.design_price(design) <= adapter.budget_bytes
+
+    def test_cliffguard_drives_samples_engine(
+        self, adapter, tiny_star, tiny_trace, tiny_windows
+    ):
+        """The same CliffGuard wrapper must drive a third engine."""
+        schema, _ = tiny_star
+        window = tiny_windows[1]
+        distance = WorkloadDistance(schema.total_columns)
+        sampler = NeighborhoodSampler(
+            distance,
+            schema,
+            pool=[q for q in tiny_trace if q.timestamp < window.span_days[0]],
+            seed=5,
+            min_query_set=4,
+            max_query_set=8,
+        )
+        nominal = SamplesNominalDesigner(adapter)
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.004, n_samples=3, max_iterations=2
+        )
+        design = robust.design(window)
+        test = tiny_windows[2]
+        assert (
+            adapter.workload_cost(test, design).average_ms
+            < adapter.workload_cost(test, adapter.empty_design()).average_ms
+        )

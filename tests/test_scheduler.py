@@ -1,0 +1,83 @@
+"""Tests for the re-design scheduling extension."""
+
+import pytest
+
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.harness.scheduler import (
+    DriftTriggeredPolicy,
+    PeriodicPolicy,
+    scheduled_replay,
+)
+from repro.workload.distance import WorkloadDistance
+
+
+class TestPolicies:
+    def test_periodic_every_window(self, tiny_windows):
+        policy = PeriodicPolicy(every=1)
+        assert policy.should_redesign(0, None, tiny_windows[0])
+        assert policy.should_redesign(1, tiny_windows[0], tiny_windows[1])
+
+    def test_periodic_every_second_window(self, tiny_windows):
+        policy = PeriodicPolicy(every=2)
+        assert policy.should_redesign(0, None, tiny_windows[0])  # first design
+        assert policy.should_redesign(2, tiny_windows[0], tiny_windows[1])
+        assert not policy.should_redesign(1, tiny_windows[0], tiny_windows[1])
+
+    def test_periodic_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PeriodicPolicy(every=0)
+
+    def test_drift_triggered(self, tiny_star, tiny_windows):
+        schema, _ = tiny_star
+        distance = WorkloadDistance(schema.total_columns)
+        drift = distance(tiny_windows[0], tiny_windows[1])
+        eager = DriftTriggeredPolicy(distance, threshold=drift * 0.5)
+        lazy = DriftTriggeredPolicy(distance, threshold=drift * 100)
+        assert eager.should_redesign(1, tiny_windows[0], tiny_windows[1])
+        assert not lazy.should_redesign(1, tiny_windows[0], tiny_windows[1])
+
+    def test_drift_threshold_validation(self, tiny_star):
+        schema, _ = tiny_star
+        distance = WorkloadDistance(schema.total_columns)
+        with pytest.raises(ValueError):
+            DriftTriggeredPolicy(distance, threshold=-1.0)
+
+
+class TestScheduledReplay:
+    def test_monthly_redesign_matches_window_count(
+        self, columnar_adapter, tiny_windows
+    ):
+        nominal = ColumnarNominalDesigner(columnar_adapter)
+        outcome = scheduled_replay(
+            tiny_windows, nominal, columnar_adapter, PeriodicPolicy(every=1)
+        )
+        assert outcome.redesign_count == len(tiny_windows) - 1
+        assert len(outcome.per_window_avg_ms) == len(tiny_windows) - 1
+        assert outcome.total_deployment_seconds > 0
+
+    def test_fewer_redesigns_cost_less_deployment(
+        self, columnar_adapter, tiny_windows
+    ):
+        nominal = ColumnarNominalDesigner(columnar_adapter)
+        monthly = scheduled_replay(
+            tiny_windows, nominal, columnar_adapter, PeriodicPolicy(every=1)
+        )
+        rare = scheduled_replay(
+            tiny_windows, nominal, columnar_adapter, PeriodicPolicy(every=3)
+        )
+        assert rare.redesign_count < monthly.redesign_count
+        assert rare.total_deployment_seconds < monthly.total_deployment_seconds
+        # …but the stale designs serve later windows worse (or equal).
+        assert rare.mean_average_ms >= monthly.mean_average_ms * 0.95
+
+    def test_before_design_hook(self, columnar_adapter, tiny_windows):
+        nominal = ColumnarNominalDesigner(columnar_adapter)
+        calls = []
+        scheduled_replay(
+            tiny_windows,
+            nominal,
+            columnar_adapter,
+            PeriodicPolicy(every=2),
+            before_design=calls.append,
+        )
+        assert calls and calls[0] == 0

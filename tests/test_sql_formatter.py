@@ -1,0 +1,125 @@
+"""Formatter tests, including the hypothesis round-trip property."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql.ast import (
+    Aggregate,
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    IsNullPredicate,
+    Join,
+    LikePredicate,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+)
+from repro.sql.formatter import format_statement
+from repro.sql.parser import parse
+
+# -- strategies to generate random statements in the subset -----------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "ASC", "DESC",
+        "LIMIT", "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "IS", "NULL",
+        "JOIN", "INNER", "ON", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+        "DISTINCT", "TRUE", "FALSE",
+    }
+)
+
+column_refs = st.builds(
+    ColumnRef,
+    name=identifiers,
+    table=st.one_of(st.none(), identifiers),
+)
+
+literals = st.one_of(
+    st.integers(-1000, 1000).map(Literal),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+        max_size=8,
+    ).map(Literal),
+    st.just(Literal(None)),
+)
+
+comparisons = st.builds(
+    ComparisonPredicate,
+    column=column_refs,
+    op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    value=literals,
+)
+betweens = st.builds(
+    BetweenPredicate,
+    column=column_refs,
+    low=st.integers(-100, 100).map(Literal),
+    high=st.integers(-100, 100).map(Literal),
+)
+in_lists = st.builds(
+    InPredicate,
+    column=column_refs,
+    values=st.lists(st.integers(-50, 50).map(Literal), min_size=1, max_size=4).map(tuple),
+)
+likes = st.builds(
+    LikePredicate,
+    column=column_refs,
+    pattern=st.from_regex(r"[a-z%_]{1,6}", fullmatch=True),
+)
+nulls = st.builds(IsNullPredicate, column=column_refs, negated=st.booleans())
+predicates = st.one_of(comparisons, betweens, in_lists, likes, nulls)
+
+aggregates = st.one_of(
+    st.just(Aggregate("COUNT", None)),
+    st.builds(
+        Aggregate,
+        func=st.sampled_from(["SUM", "AVG", "MIN", "MAX", "COUNT"]),
+        column=column_refs,
+        distinct=st.booleans(),
+    ),
+)
+select_items = st.builds(
+    SelectItem,
+    expr=st.one_of(column_refs, aggregates),
+    alias=st.one_of(st.none(), identifiers),
+)
+
+statements = st.builds(
+    SelectStatement,
+    select=st.lists(select_items, min_size=1, max_size=4).map(tuple),
+    table=identifiers,
+    joins=st.lists(
+        st.builds(Join, table=identifiers, left=column_refs, right=column_refs),
+        max_size=2,
+    ).map(tuple),
+    where=st.lists(predicates, max_size=3).map(tuple),
+    group_by=st.lists(column_refs, max_size=3).map(tuple),
+    order_by=st.lists(
+        st.builds(OrderItem, column=column_refs, ascending=st.booleans()),
+        max_size=2,
+    ).map(tuple),
+    limit=st.one_of(st.none(), st.integers(1, 10_000)),
+)
+
+
+class TestRoundTrip:
+    @given(statements)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_of_format_is_identity(self, stmt):
+        assert parse(format_statement(stmt)) == stmt
+
+    def test_known_statement_text(self):
+        sql = (
+            "SELECT a, SUM(t.b) AS total FROM t JOIN u ON t.k = u.k "
+            "WHERE c = 5 AND d BETWEEN 1 AND 2 GROUP BY a "
+            "ORDER BY a DESC LIMIT 10"
+        )
+        assert format_statement(parse(sql)) == sql
+
+    def test_string_escaping_round_trips(self):
+        sql = "SELECT a FROM t WHERE name = 'it''s'"
+        stmt = parse(sql)
+        assert parse(format_statement(stmt)) == stmt

@@ -1,0 +1,56 @@
+"""Robustness fuzzing for the SQL front end.
+
+The designers feed arbitrary historical query text through the parser; it
+must fail *predictably* (ValueError subclasses), never with unexpected
+exception types, hangs, or crashes.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.sql.ast import ColumnRef, column_of
+from repro.sql.lexer import LexError, tokenize
+from repro.sql.parser import ParseError, parse
+
+
+class TestFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        try:
+            parse(text)
+        except (ParseError, LexError, ValueError):
+            pass  # the contract: malformed input raises ValueError family
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["SELECT", "FROM", "WHERE", "a", "t", ",", "(", ")", "*",
+                 "=", "5", "'x'", "AND", "GROUP", "BY", "ORDER", "LIMIT"]
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_never_crashes_unexpectedly(self, tokens):
+        try:
+            parse(" ".join(tokens))
+        except (ParseError, LexError, ValueError):
+            pass
+
+    @given(st.text(alphabet="abc_.0123456789'% ()=<>,*", max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_lexer_total_on_charset(self, text):
+        try:
+            tokenize(text)
+        except LexError:
+            pass
+
+
+class TestColumnOf:
+    def test_bare(self):
+        assert column_of("a") == ColumnRef("a")
+
+    def test_qualified(self):
+        assert column_of("t.a") == ColumnRef("a", "t")

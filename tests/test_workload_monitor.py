@@ -1,0 +1,103 @@
+"""Tests for the streaming drift monitor."""
+
+import pytest
+
+from repro.workload.distance import WorkloadDistance
+from repro.workload.monitor import WorkloadMonitor
+from repro.workload.query import WorkloadQuery
+
+
+def q(columns: list[str], day: float) -> WorkloadQuery:
+    return WorkloadQuery(sql=f"SELECT {', '.join(columns)} FROM t", timestamp=day)
+
+
+N = 16
+STABLE = [f"t.c{i}" for i in range(3)]
+DRIFTED = [f"t.c{i}" for i in range(8, 11)]
+
+
+@pytest.fixture
+def monitor() -> WorkloadMonitor:
+    return WorkloadMonitor(
+        WorkloadDistance(N),
+        threshold=0.005,
+        window_days=10,
+        measure_every_days=1.0,
+        refractory_days=5.0,
+    )
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        distance = WorkloadDistance(N)
+        with pytest.raises(ValueError):
+            WorkloadMonitor(distance, threshold=-1)
+        with pytest.raises(ValueError):
+            WorkloadMonitor(distance, threshold=0.1, window_days=0)
+
+    def test_out_of_order_rejected(self, monitor):
+        monitor.observe(q(STABLE, 5.0))
+        with pytest.raises(ValueError):
+            monitor.observe(q(STABLE, 4.0))
+
+
+class TestSlidingWindow:
+    def test_old_queries_evicted(self, monitor):
+        monitor.observe(q(STABLE, 0.0))
+        monitor.observe(q(STABLE, 20.0))
+        window = monitor.current_window
+        assert len(window) == 1
+        assert window.queries[0].timestamp == 20.0
+
+
+class TestDriftDetection:
+    def test_no_alarms_without_reference(self, monitor):
+        alarms = monitor.observe_many(q(STABLE, float(d)) for d in range(20))
+        assert alarms == []
+        assert monitor.readings == []
+
+    def test_stable_workload_never_alarms(self, monitor):
+        monitor.observe_many(q(STABLE, float(d) / 2) for d in range(20))
+        monitor.rebase()
+        alarms = monitor.observe_many(
+            q(STABLE, 10.0 + float(d)) for d in range(20)
+        )
+        assert alarms == []
+        assert all(r.distance <= monitor.threshold for r in monitor.readings)
+
+    def test_drift_raises_alarm(self, monitor):
+        monitor.observe_many(q(STABLE, float(d) / 2) for d in range(20))
+        monitor.rebase()
+        alarms = monitor.observe_many(
+            q(DRIFTED, 10.0 + float(d)) for d in range(20)
+        )
+        assert alarms
+        assert alarms[0].distance > monitor.threshold
+
+    def test_refractory_limits_alarm_storm(self, monitor):
+        monitor.observe_many(q(STABLE, float(d) / 2) for d in range(20))
+        monitor.rebase()
+        alarms = monitor.observe_many(
+            q(DRIFTED, 10.0 + float(d)) for d in range(30)
+        )
+        # 30 days of sustained drift with a 5-day refractory → ≤ ~7 alarms.
+        assert 1 <= len(alarms) <= 7
+
+    def test_rebase_clears_alarm_state(self, monitor):
+        monitor.observe_many(q(STABLE, float(d) / 2) for d in range(20))
+        monitor.rebase()
+        monitor.observe_many(q(DRIFTED, 10.0 + float(d)) for d in range(15))
+        assert monitor.alarms
+        count = len(monitor.alarms)
+        monitor.rebase()  # accept the drifted workload as the new normal
+        monitor.observe_many(q(DRIFTED, 25.0 + float(d)) for d in range(10))
+        assert len(monitor.alarms) == count  # no further alarms
+
+    def test_measurement_cadence(self, monitor):
+        monitor.observe_many(q(STABLE, float(d) / 2) for d in range(20))
+        monitor.rebase()
+        monitor.observe_many(
+            q(STABLE, 10.0 + d * 0.1) for d in range(100)
+        )  # 10 days of dense traffic
+        # Measurements happen ~daily, not per query.
+        assert len(monitor.readings) <= 12
