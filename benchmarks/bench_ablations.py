@@ -41,7 +41,13 @@ def run_variant(context, emit, label, **cliffguard_kwargs):
         before_transition=_past_pool_hook(context.trace("R1"), [sampler]),
     )
     run = outcome.run(label)
-    return run.mean_average_ms, run.mean_max_ms
+    report = designer.last_report
+    return (
+        run.mean_average_ms,
+        run.mean_max_ms,
+        report.query_cost_calls if report else 0,
+        report.final_alpha if report else 0.0,
+    )
 
 
 def test_ablation_worst_neighbor_selection(benchmark, context, emit):
@@ -59,7 +65,13 @@ def test_ablation_worst_neighbor_selection(benchmark, context, emit):
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
         format_table(
-            ["Selection rule", "Avg latency (ms)", "Max latency (ms)"],
+            [
+                "Selection rule",
+                "Avg latency (ms)",
+                "Max latency (ms)",
+                "Cost calls",
+                "Final α",
+            ],
             [[k, *v] for k, v in results.items()],
             title="Ablation A1: worst-neighbor selection rule (R1)",
         )
@@ -84,7 +96,13 @@ def test_ablation_line_search(benchmark, context, emit):
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
         format_table(
-            ["Step-size policy", "Avg latency (ms)", "Max latency (ms)"],
+            [
+                "Step-size policy",
+                "Avg latency (ms)",
+                "Max latency (ms)",
+                "Cost calls",
+                "Final α",
+            ],
             [[k, *v] for k, v in results.items()],
             title="Ablation A2: backtracking line search (R1)",
         )
@@ -104,7 +122,13 @@ def test_ablation_keep_base_workload(benchmark, context, emit):
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
         format_table(
-            ["Algorithm 3 variant", "Avg latency (ms)", "Max latency (ms)"],
+            [
+                "Algorithm 3 variant",
+                "Avg latency (ms)",
+                "Max latency (ms)",
+                "Cost calls",
+                "Final α",
+            ],
             [[k, *v] for k, v in results.items()],
             title="Ablation A3: the + weight(q, W0) anchor term (R1)",
         )

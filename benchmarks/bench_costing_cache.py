@@ -1,0 +1,115 @@
+"""Micro-benchmark for the unified cost-evaluation service.
+
+Cold-vs-warm neighborhood evaluation on the F7a configuration (R1 on the
+columnar engine at bench scale): the first pass pays one raw cost-model
+call per distinct (design, query) pair, the second is served entirely
+from the fingerprinted memo cache.  Emits a JSON record so the perf
+trajectory can be tracked across commits.
+"""
+
+import json
+import time
+
+from repro.core.cliffguard import CliffGuard
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+
+
+def _f7a_parts(context):
+    """Adapter, designer stack, and one train window of the F7a setup."""
+    adapter = context.columnar_adapter()
+    nominal = ColumnarNominalDesigner(adapter)
+    windows = context.trace_windows("R1")
+    gamma = context.default_gamma("R1")
+    index = max(1, len(windows) - 2)
+    window = windows[index]
+    sampler = context.sampler()
+    sampler.set_pool(
+        [q for q in context.trace("R1") if q.timestamp < window.span_days[0]]
+    )
+    return adapter, nominal, sampler, gamma, window
+
+
+def test_costing_cache_cold_vs_warm(benchmark, context, emit):
+    def run():
+        adapter, nominal, sampler, gamma, window = _f7a_parts(context)
+        service = adapter.costing
+        design = nominal.design(window)
+        neighborhood = [window] + sampler.sample(
+            window, gamma, context.scale.n_samples
+        )
+
+        service.clear()
+        service.reset_stats()
+        started = time.perf_counter()
+        cold_reports = service.evaluate_neighborhood([design], neighborhood)[0]
+        cold_seconds = time.perf_counter() - started
+        cold_stats = service.stats.snapshot()
+
+        started = time.perf_counter()
+        warm_reports = service.evaluate_neighborhood([design], neighborhood)[0]
+        warm_seconds = time.perf_counter() - started
+        warm_stats = service.stats.since(cold_stats)
+
+        return {
+            "config": "F7a (R1, columnar)",
+            "neighborhood_size": len(neighborhood),
+            "distinct_queries": cold_stats.raw_model_calls,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+            "cold_dedup_ratio": cold_stats.dedup_ratio,
+            "warm_hit_rate": warm_stats.hit_rate,
+            "warm_raw_model_calls": warm_stats.raw_model_calls,
+            "identical": all(
+                a.per_query_ms == b.per_query_ms
+                for a, b in zip(cold_reports, warm_reports)
+            ),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("bench_costing_cache: " + json.dumps(result, sort_keys=True))
+
+    assert result["identical"], "cached evaluation must be bit-identical"
+    assert result["warm_raw_model_calls"] == 0, "warm pass must be all cache hits"
+    assert result["warm_hit_rate"] == 1.0
+    assert result["warm_seconds"] <= result["cold_seconds"]
+    # Neighbors share queries heavily: batching must collapse duplicates.
+    assert result["cold_dedup_ratio"] > 0.0
+
+
+def test_cliffguard_run_reports_cache_savings(benchmark, context, emit):
+    """A full F7a CliffGuard run must issue measurably fewer raw
+    cost-model calls than it requests query-cost evaluations."""
+
+    def run():
+        adapter, nominal, sampler, gamma, window = _f7a_parts(context)
+        adapter.costing.reset_stats()
+        designer = CliffGuard(
+            nominal,
+            adapter,
+            sampler,
+            gamma,
+            n_samples=context.scale.n_samples,
+            max_iterations=context.scale.iterations,
+        )
+        designer.design(window)
+        report = designer.last_report
+        return {
+            "config": "F7a (R1, columnar)",
+            "query_cost_calls": report.query_cost_calls,
+            "raw_cost_model_calls": report.raw_cost_model_calls,
+            "cache_hits": report.cache_hits,
+            "savings_ratio": (
+                1.0 - report.raw_cost_model_calls / report.query_cost_calls
+                if report.query_cost_calls
+                else 0.0
+            ),
+            "final_alpha": report.final_alpha,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("bench_costing_cliffguard: " + json.dumps(result, sort_keys=True))
+
+    assert result["cache_hits"] > 0, "cache hit rate must be reported > 0"
+    assert result["raw_cost_model_calls"] < result["query_cost_calls"]
+    assert result["savings_ratio"] > 0.25

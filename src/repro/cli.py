@@ -6,7 +6,9 @@ Commands:
 * ``drift`` — Table-1-style drift statistics for R1/S1/S2,
 * ``design`` — run one designer on one window and print the design,
 * ``compare`` — the Figure-7-style designer comparison,
-* ``gamma`` — the Figure-8/9 robustness-knob sweep.
+* ``gamma`` — the Figure-8/9 robustness-knob sweep,
+* ``stats`` — cost-evaluation-service counters for a CliffGuard replay
+  (what-if calls, cache hits, dedup ratio, costing wall-time).
 
 All commands are deterministic given ``--seed``.
 """
@@ -21,11 +23,16 @@ from repro.harness.experiments import (
     ExperimentContext,
     ExperimentScale,
     build_designers,
+    run_costing_stats,
     run_designer_comparison,
     run_gamma_sweep,
     run_table1,
 )
-from repro.harness.reporting import format_table
+from repro.harness.reporting import (
+    format_costing_stats,
+    format_designer_effort,
+    format_table,
+)
 
 WORKLOADS = ("R1", "S1", "S2")
 
@@ -158,6 +165,33 @@ def cmd_gamma(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    context = _context(args)
+    outcome = run_costing_stats(context, args.workload, engine=args.engine)
+    print(
+        format_costing_stats(
+            outcome.service_stats,
+            title=(
+                f"Cost-evaluation service: CliffGuard on {args.workload} "
+                f"({args.engine} engine)"
+            ),
+        )
+    )
+    print()
+    print(format_designer_effort(outcome.replay, title="Designer effort"))
+    report = outcome.cliffguard_report
+    if report is not None:
+        print()
+        print(
+            f"last CliffGuard run: {report.iterations} iterations, "
+            f"{report.accepted_moves} accepted moves, "
+            f"{report.query_cost_calls} query-cost calls "
+            f"({report.raw_cost_model_calls} raw), "
+            f"final α = {report.final_alpha:g}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("design", cmd_design, ("engine", "designer", "limit")),
         ("compare", cmd_compare, ("engine",)),
         ("gamma", cmd_gamma, ()),
+        ("stats", cmd_stats, ("engine",)),
     ):
         sub = subparsers.add_parser(name)
         _add_scale_arguments(sub)

@@ -39,6 +39,15 @@ class CliffGuardReport:
     worst_case_history: list[float] = field(default_factory=list)
     alpha_history: list[float] = field(default_factory=list)
     designer_calls: int = 0
+    #: Query-cost evaluations requested during this run (cache hits
+    #: included) — the designer-effort number the A1–A3 benches report.
+    query_cost_calls: int = 0
+    #: Raw cost-model invocations actually paid (misses only).
+    raw_cost_model_calls: int = 0
+    #: Lookups served by the cost-evaluation service's memo cache.
+    cache_hits: int = 0
+    #: The step size after the last accepted/rejected move.
+    final_alpha: float = 0.0
 
 
 class CliffGuard(Designer):
@@ -65,6 +74,10 @@ class CliffGuard(Designer):
     ):
         if gamma < 0:
             raise ValueError("gamma must be non-negative")
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        if min_worst < 1:
+            raise ValueError("min_worst must be at least 1")
         if not 0 < worst_fraction <= 1:
             raise ValueError("worst_fraction must be in (0, 1]")
         if lambda_success <= 1:
@@ -92,18 +105,28 @@ class CliffGuard(Designer):
     def _neighborhood_costs(
         self, neighborhood: list[Workload], design
     ) -> list[float]:
-        """f(W_i, D) for every sampled neighbor (average latency)."""
-        return [
-            self.adapter.workload_cost(neighbor, design).average_ms
-            for neighbor in neighborhood
-        ]
+        """f(W_i, D) for every sampled neighbor (average latency).
+
+        Evaluated through the adapter's batched neighborhood API: the
+        neighbors overwhelmingly share queries (they come from the same
+        history pool), so each distinct query is costed once per design
+        instead of once per neighbor.
+        """
+        reports = self.adapter.evaluate_neighborhood([design], neighborhood)[0]
+        return [report.average_ms for report in reports]
 
     def _worst_neighbors(
         self, neighborhood: list[Workload], costs: list[float]
     ) -> list[Workload]:
         """Top-fraction most expensive neighbors (Section 4.3's loosened
-        selection — strict max would inherit finite-sample bias)."""
+        selection — strict max would inherit finite-sample bias).
+
+        ``k`` is clamped to the neighborhood size: ``min_worst`` larger
+        than the sample count must select the whole neighborhood rather
+        than silently degrading through an oversized slice.
+        """
         k = max(self.min_worst, math.ceil(len(neighborhood) * self.worst_fraction))
+        k = min(k, len(neighborhood))
         ranked = sorted(range(len(neighborhood)), key=lambda i: -costs[i])
         return [neighborhood[i] for i in ranked[:k]]
 
@@ -115,11 +138,14 @@ class CliffGuard(Designer):
 
         report = CliffGuardReport()
         self.last_report = report
+        service = getattr(self.adapter, "costing", None)
+        baseline = service.stats.snapshot() if service is not None else None
 
         design = self.nominal.design(workload)  # Line 1: initial nominal design
         report.designer_calls += 1
         if self.gamma == 0 or self.max_iterations == 0 or not workload:
             # Γ = 0 degenerates to the nominal design by definition.
+            self._finish(report, service, baseline, self.initial_alpha)
             return design
 
         neighborhood = self.sampler.sample(workload, self.gamma, self.n_samples)
@@ -142,6 +168,7 @@ class CliffGuard(Designer):
                 cost=lambda sql: self.adapter.query_cost(sql, design),
                 alpha=alpha,
                 keep_base=self.keep_base_in_move,
+                batch_cost=lambda sqls: self.adapter.query_costs(sqls, design),
             )
             candidate = self.nominal.design(moved)
             report.designer_calls += 1
@@ -160,4 +187,19 @@ class CliffGuard(Designer):
                 if self.patience is not None and stale >= self.patience:
                     break
             report.worst_case_history.append(worst_case)
+        self._finish(report, service, baseline, alpha)
         return design
+
+    @staticmethod
+    def _finish(report: CliffGuardReport, service, baseline, alpha: float) -> None:
+        """Record designer effort (cost-call counters) and the final α."""
+        report.final_alpha = alpha
+        if service is None or baseline is None:
+            return
+        delta = service.stats.since(baseline)
+        # Total query-cost evaluations the run asked for, counting the
+        # duplicates the batched API collapsed — the effort a designer
+        # without the evaluation service would have paid.
+        report.query_cost_calls = delta.query_requests + delta.dedup_saved
+        report.raw_cost_model_calls = delta.raw_model_calls
+        report.cache_hits = delta.query_hits

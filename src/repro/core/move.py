@@ -31,6 +31,7 @@ def move_workload(
     cost: Callable[[str], float],
     alpha: float,
     keep_base: bool = True,
+    batch_cost: Callable[[Sequence[str]], dict[str, float]] | None = None,
 ) -> Workload:
     """Merge ``base`` with its worst neighbors, re-weighted per Algorithm 3.
 
@@ -69,7 +70,13 @@ def move_workload(
         for query in neighbor:
             all_sql.setdefault(query.sql, query)
 
-    costs = {sql: cost(sql) for sql in all_sql}
+    # ``batch_cost`` (the cost-evaluation service's deduplicated batch
+    # API) prices all merged queries in one call; the per-query ``cost``
+    # callable remains the fallback for callers without a service.
+    if batch_cost is not None:
+        costs = dict(batch_cost(list(all_sql)))
+    else:
+        costs = {sql: cost(sql) for sql in all_sql}
     mean_cost = sum(costs.values()) / max(len(costs), 1)
     if mean_cost <= 0:
         mean_cost = 1.0

@@ -1,11 +1,34 @@
 """Engine-agnostic costing infrastructure.
 
-Both the columnar engine and the row store price queries from the same
-parsed, schema-resolved, selectivity-annotated :class:`QueryProfile`; only
-the translation from profile to milliseconds differs per engine.
+All three engines price queries from the same parsed, schema-resolved,
+selectivity-annotated :class:`QueryProfile`; only the translation from
+profile to milliseconds differs per engine.  On top of that shared
+profile sits the :class:`CostEvaluationService` — a fingerprinted memo
+cache with batched neighborhood evaluation and instrumentation — which
+every :class:`repro.designers.base.DesignAdapter` routes its what-if
+calls through.
 """
 
 from repro.costing.profile import QueryProfile, QueryProfiler, TableAccess
 from repro.costing.report import WorkloadCostReport
+from repro.costing.service import (
+    CostEvaluationService,
+    CostModel,
+    CostServiceStats,
+    design_fingerprint,
+    query_fingerprint,
+    workload_fingerprint,
+)
 
-__all__ = ["QueryProfile", "QueryProfiler", "TableAccess", "WorkloadCostReport"]
+__all__ = [
+    "CostEvaluationService",
+    "CostModel",
+    "CostServiceStats",
+    "QueryProfile",
+    "QueryProfiler",
+    "TableAccess",
+    "WorkloadCostReport",
+    "design_fingerprint",
+    "query_fingerprint",
+    "workload_fingerprint",
+]

@@ -1,0 +1,464 @@
+"""Unified cost-evaluation service shared by all three design substrates.
+
+CliffGuard's inner loop (Algorithm 2) evaluates ``f(W, D)`` for every
+sampled neighbor under every candidate design; with the paper defaults
+(n = 20 samples + the base workload, 5 iterations) the same queries are
+re-costed hundreds of times per replay window even though neighbors
+overwhelmingly share queries.  The paper itself stresses that what-if
+cost calls dominate designer runtime (Figure 14), so this module puts
+**one memoizing, batching, instrumented layer** between the consumers
+(CliffGuard, the baseline designers, the replay harness, the CLI) and
+the three engine cost models.
+
+The service only assumes the :class:`CostModel` protocol — ``profile``,
+``query_cost``, ``workload_cost`` — which all three substrates
+(:class:`repro.engine.optimizer.ColumnarCostModel`,
+:class:`repro.rowstore.optimizer.RowstoreCostModel`,
+:class:`repro.samples.optimizer.SamplesCostModel`) already satisfy, so
+the cache and batching are shared rather than re-implemented per engine.
+
+Caching contract (see ``docs/cost_model.md`` for the prose version):
+
+* **Fingerprints are content hashes.**  A design's fingerprint digests
+  the canonical DDL of its structures in deterministic order; a query's
+  fingerprint digests its exact SQL text (two queries sharing a template
+  but differing in literals cost differently, so the template alone is
+  not a sound key).  Content-identical designs therefore share cache
+  entries even when they are distinct objects.
+* **Two levels.**  Level 1 memoizes per-(design, query) costs; level 2
+  memoizes whole :class:`WorkloadCostReport` aggregates per
+  (design, workload).  Both are bounded LRUs.
+* **Bit-identical results.**  Cached values are the exact floats the
+  underlying cost model produced — the cached-vs-uncached property test
+  in ``tests/test_costing_service.py`` asserts equality, not closeness.
+* **Explicit invalidation.**  The service never watches the cost model
+  for mutation; callers that change statistics or cost constants must
+  call :meth:`CostEvaluationService.invalidate_design` or
+  :meth:`CostEvaluationService.clear`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.costing.report import WorkloadCostReport
+
+#: Default bound on the per-(design, query) memo cache.  Sized to hold a
+#: full bench-scale CliffGuard run's working set (~550k distinct pairs:
+#: the nominal designer's candidate×query matrix dominates); a bound just
+#: under the working set thrashes and loses all cross-iteration reuse.
+DEFAULT_MAX_QUERY_ENTRIES = 1_048_576
+#: Default bound on the per-(design, workload) aggregate cache.
+DEFAULT_MAX_WORKLOAD_ENTRIES = 4_096
+#: Designs whose fingerprints are memoized (they are hashable, so the
+#: digest only has to be computed once per distinct design).
+DEFAULT_MAX_FINGERPRINTS = 16_384
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """The what-if surface every engine cost model exposes.
+
+    All three substrates satisfy this structurally; the service (and the
+    :class:`repro.designers.base.DesignAdapter` refactored onto it) only
+    ever touches these three members.
+    """
+
+    def profile(self, sql: str):  # pragma: no cover - protocol
+        """Parse and schema-resolve one SQL text."""
+        ...
+
+    def query_cost(self, sql_or_profile, design) -> float:  # pragma: no cover
+        """Estimated latency (model ms) of one query under ``design``."""
+        ...
+
+    def workload_cost(self, queries, design) -> WorkloadCostReport:  # pragma: no cover
+        """Latency report of a workload under ``design``."""
+        ...
+
+
+# -- fingerprints ----------------------------------------------------------------
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.blake2b(digest_size=12)
+    for part in parts:
+        h.update(part.encode("utf-8", "surrogatepass"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def query_fingerprint(sql: str) -> str:
+    """Stable content hash of one query's exact SQL text."""
+    return _digest("q", sql)
+
+
+def design_fingerprint(design) -> str:
+    """Stable content hash of a design's structures.
+
+    Designs iterate their structures in deterministic order and every
+    structure renders stable DDL via ``str``, so two content-identical
+    designs — even distinct objects built in different ways — produce
+    the same fingerprint.
+    """
+    return _digest("d", *[str(structure) for structure in design])
+
+
+def workload_fingerprint(queries: Iterable) -> str:
+    """Stable content hash of a (sql, weight) sequence, order-sensitive."""
+    parts: list[str] = ["w"]
+    for query in queries:
+        if isinstance(query, str):
+            parts.append(query)
+            parts.append("1.0")
+        else:
+            parts.append(query.sql)
+            parts.append(repr(float(query.frequency)))
+    return _digest(*parts)
+
+
+# -- instrumentation -------------------------------------------------------------
+
+
+@dataclass
+class CostServiceStats:
+    """Counters for one service (cumulative; see :meth:`snapshot`)."""
+
+    #: Query-cost lookups requested by consumers (hits + misses).
+    query_requests: int = 0
+    #: Lookups served from the per-(design, query) cache.
+    query_hits: int = 0
+    #: Raw calls into the underlying cost model's ``query_cost``.
+    raw_model_calls: int = 0
+    #: Workload-aggregate lookups requested (hits + misses).
+    workload_requests: int = 0
+    #: Aggregates served from the workload-level cache.
+    workload_hits: int = 0
+    #: Duplicate (design, query) pairs collapsed by batched evaluation
+    #: before any cache or model was consulted.
+    dedup_saved: int = 0
+    #: Wall-clock seconds spent inside evaluation entry points.
+    eval_seconds: float = 0.0
+    #: Cache entries dropped by the LRU bound or explicit invalidation.
+    evictions: int = 0
+
+    @property
+    def query_misses(self) -> int:
+        return self.query_requests - self.query_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of query-cost lookups served from cache."""
+        if self.query_requests == 0:
+            return 0.0
+        return self.query_hits / self.query_requests
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of batched lookups collapsed as duplicates."""
+        total = self.query_requests + self.dedup_saved
+        if total == 0:
+            return 0.0
+        return self.dedup_saved / total
+
+    def snapshot(self) -> "CostServiceStats":
+        """An independent copy (for before/after deltas)."""
+        return CostServiceStats(
+            query_requests=self.query_requests,
+            query_hits=self.query_hits,
+            raw_model_calls=self.raw_model_calls,
+            workload_requests=self.workload_requests,
+            workload_hits=self.workload_hits,
+            dedup_saved=self.dedup_saved,
+            eval_seconds=self.eval_seconds,
+            evictions=self.evictions,
+        )
+
+    def since(self, earlier: "CostServiceStats") -> "CostServiceStats":
+        """The delta between this snapshot and an ``earlier`` one."""
+        return CostServiceStats(
+            query_requests=self.query_requests - earlier.query_requests,
+            query_hits=self.query_hits - earlier.query_hits,
+            raw_model_calls=self.raw_model_calls - earlier.raw_model_calls,
+            workload_requests=self.workload_requests - earlier.workload_requests,
+            workload_hits=self.workload_hits - earlier.workload_hits,
+            dedup_saved=self.dedup_saved - earlier.dedup_saved,
+            eval_seconds=self.eval_seconds - earlier.eval_seconds,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+    def rows(self) -> list[list[object]]:
+        """(label, value) rows for the reporting tables."""
+        return [
+            ["raw cost-model calls", self.raw_model_calls],
+            ["query-cost lookups", self.query_requests],
+            ["query-cache hits", self.query_hits],
+            ["query-cache hit rate", self.hit_rate],
+            ["batched duplicates collapsed", self.dedup_saved],
+            ["dedup ratio", self.dedup_ratio],
+            ["workload-aggregate lookups", self.workload_requests],
+            ["workload-aggregate hits", self.workload_hits],
+            ["evaluation wall-time (s)", self.eval_seconds],
+            ["cache evictions", self.evictions],
+        ]
+
+
+# -- the service -----------------------------------------------------------------
+
+
+@dataclass
+class _Timer:
+    stats: CostServiceStats
+    started: float = field(default=0.0)
+
+    def __enter__(self) -> "_Timer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stats.eval_seconds += time.perf_counter() - self.started
+
+
+class CostEvaluationService:
+    """Fingerprinted memo cache + batched evaluation over one cost model."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        max_query_entries: int = DEFAULT_MAX_QUERY_ENTRIES,
+        max_workload_entries: int = DEFAULT_MAX_WORKLOAD_ENTRIES,
+        max_workers: int | None = None,
+    ):
+        if max_query_entries < 1 or max_workload_entries < 1:
+            raise ValueError("cache bounds must be positive")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive when set")
+        self.cost_model = cost_model
+        self.max_query_entries = max_query_entries
+        self.max_workload_entries = max_workload_entries
+        self.max_workers = max_workers
+        self.stats = CostServiceStats()
+        #: (design_fp, sql) -> cost, LRU-ordered (oldest first).
+        self._query_cache: OrderedDict[tuple[str, str], float] = OrderedDict()
+        #: (design_fp, workload_fp) -> WorkloadCostReport, LRU-ordered.
+        self._workload_cache: OrderedDict[tuple[str, str], WorkloadCostReport] = (
+            OrderedDict()
+        )
+        #: design object -> fingerprint (designs are hashable by content).
+        self._fingerprints: OrderedDict[object, str] = OrderedDict()
+
+    # -- fingerprints --------------------------------------------------------------
+
+    def design_fingerprint(self, design) -> str:
+        """Memoized content hash of ``design``."""
+        cached = self._fingerprints.get(design)
+        if cached is not None:
+            self._fingerprints.move_to_end(design)
+            return cached
+        fingerprint = design_fingerprint(design)
+        self._fingerprints[design] = fingerprint
+        if len(self._fingerprints) > DEFAULT_MAX_FINGERPRINTS:
+            self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    # -- cache plumbing -------------------------------------------------------------
+
+    @property
+    def cached_query_entries(self) -> int:
+        return len(self._query_cache)
+
+    @property
+    def cached_workload_entries(self) -> int:
+        return len(self._workload_cache)
+
+    def clear(self) -> None:
+        """Drop every cached entry (fingerprints survive: content hashes
+        stay valid as long as the design objects themselves do)."""
+        self.stats.evictions += len(self._query_cache) + len(self._workload_cache)
+        self._query_cache.clear()
+        self._workload_cache.clear()
+
+    def invalidate_design(self, design) -> None:
+        """Drop every cached entry priced under ``design``.
+
+        The service never watches the cost model for mutation; callers
+        that update statistics or cost constants for a design must
+        invalidate it (or :meth:`clear`) themselves.
+        """
+        fingerprint = self.design_fingerprint(design)
+        stale_queries = [k for k in self._query_cache if k[0] == fingerprint]
+        stale_workloads = [k for k in self._workload_cache if k[0] == fingerprint]
+        for key in stale_queries:
+            del self._query_cache[key]
+        for key in stale_workloads:
+            del self._workload_cache[key]
+        self.stats.evictions += len(stale_queries) + len(stale_workloads)
+
+    def reset_stats(self) -> None:
+        self.stats = CostServiceStats()
+
+    def _remember_query(self, key: tuple[str, str], cost: float) -> None:
+        self._query_cache[key] = cost
+        if len(self._query_cache) > self.max_query_entries:
+            self._query_cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _remember_workload(
+        self, key: tuple[str, str], report: WorkloadCostReport
+    ) -> None:
+        self._workload_cache[key] = report
+        if len(self._workload_cache) > self.max_workload_entries:
+            self._workload_cache.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- single-query costing --------------------------------------------------------
+
+    def query_cost(self, sql_or_profile, design) -> float:
+        """Memoized ``cost_model.query_cost`` (bit-identical to uncached)."""
+        sql = sql_or_profile if isinstance(sql_or_profile, str) else sql_or_profile.sql
+        key = (self.design_fingerprint(design), sql)
+        self.stats.query_requests += 1
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            self.stats.query_hits += 1
+            self._query_cache.move_to_end(key)
+            return cached
+        with _Timer(self.stats):
+            cost = self.cost_model.query_cost(sql_or_profile, design)
+            self.stats.raw_model_calls += 1
+        self._remember_query(key, cost)
+        return cost
+
+    def query_costs(self, sqls: Sequence[str], design) -> dict[str, float]:
+        """Batched per-query costs for one design, deduplicated first."""
+        unique = list(dict.fromkeys(sqls))
+        self.stats.dedup_saved += len(sqls) - len(unique)
+        return {sql: self.query_cost(sql, design) for sql in unique}
+
+    # -- workload costing -------------------------------------------------------------
+
+    def workload_cost(self, queries, design) -> WorkloadCostReport:
+        """Memoized workload report, assembled from the per-query cache.
+
+        Accepts the same inputs the engine cost models do: an iterable of
+        ``WorkloadQuery``-like objects (``sql`` + ``frequency``) or raw
+        SQL strings (weight 1).
+        """
+        materialized = list(queries)
+        design_fp = self.design_fingerprint(design)
+        key = (design_fp, workload_fingerprint(materialized))
+        self.stats.workload_requests += 1
+        cached = self._workload_cache.get(key)
+        if cached is not None:
+            self.stats.workload_hits += 1
+            self._workload_cache.move_to_end(key)
+            return cached
+        costs: list[float] = []
+        weights: list[float] = []
+        for query in materialized:
+            if isinstance(query, str):
+                sql, weight = query, 1.0
+            else:
+                sql, weight = query.sql, float(query.frequency)
+            costs.append(self.query_cost(sql, design))
+            weights.append(weight)
+        report = WorkloadCostReport(per_query_ms=costs, weights=weights)
+        self._remember_workload(key, report)
+        return report
+
+    # -- batched neighborhood evaluation ----------------------------------------------
+
+    def evaluate_neighborhood(
+        self, designs: Sequence, workloads: Sequence
+    ) -> list[list[WorkloadCostReport]]:
+        """Cost every design × workload pair, deduplicating shared queries.
+
+        This replaces the per-neighbor list comprehension in CliffGuard's
+        neighborhood exploration: the sampled neighbors overwhelmingly
+        share queries (they are drawn from the same history pool), so each
+        distinct (design, query) pair is costed exactly once no matter how
+        many neighbors contain it.  Returns ``result[d][w]``, the report
+        of ``workloads[w]`` under ``designs[d]``.
+
+        When the service was built with ``max_workers``, distinct cache
+        misses fan out across a thread pool; results are identical to the
+        serial path (the cost models are pure given fixed statistics).
+        """
+        with _Timer(self.stats):
+            materialized = [list(w) for w in workloads]
+            results: list[list[WorkloadCostReport]] = []
+            for design in designs:
+                design_fp = self.design_fingerprint(design)
+                occurrences = 0
+                unique: dict[str, None] = {}
+                per_workload: list[tuple[list[str], list[float]]] = []
+                for queries in materialized:
+                    sqls: list[str] = []
+                    weights: list[float] = []
+                    for query in queries:
+                        if isinstance(query, str):
+                            sql, weight = query, 1.0
+                        else:
+                            sql, weight = query.sql, float(query.frequency)
+                        sqls.append(sql)
+                        weights.append(weight)
+                        occurrences += 1
+                        unique.setdefault(sql)
+                    per_workload.append((sqls, weights))
+                misses = [
+                    sql for sql in unique if (design_fp, sql) not in self._query_cache
+                ]
+                self.stats.dedup_saved += occurrences - len(unique)
+                self.stats.query_requests += len(unique)
+                self.stats.query_hits += len(unique) - len(misses)
+                self._fill_misses(design, design_fp, misses)
+                reports: list[WorkloadCostReport] = []
+                for sqls, weights in per_workload:
+                    costs = [
+                        self._cached_cost(design_fp, sql, design) for sql in sqls
+                    ]
+                    reports.append(
+                        WorkloadCostReport(per_query_ms=costs, weights=weights)
+                    )
+                results.append(reports)
+            return results
+
+    def _cached_cost(self, design_fp: str, sql: str, design) -> float:
+        """Serve one already-prefetched cost without re-counting a lookup.
+
+        Falls back to the model if the LRU bound evicted the entry between
+        prefetch and assembly (only possible when a single neighborhood
+        exceeds ``max_query_entries``).
+        """
+        cached = self._query_cache.get((design_fp, sql))
+        if cached is not None:
+            self._query_cache.move_to_end((design_fp, sql))
+            return cached
+        cost = self.cost_model.query_cost(sql, design)
+        self.stats.raw_model_calls += 1
+        self._remember_query((design_fp, sql), cost)
+        return cost
+
+    def _fill_misses(self, design, design_fp: str, misses: list[str]) -> None:
+        """Cost the uncached SQL texts for one design (optionally in a pool)."""
+        if not misses:
+            return
+        if self.max_workers is None or len(misses) < 2:
+            for sql in misses:
+                cost = self.cost_model.query_cost(sql, design)
+                self.stats.raw_model_calls += 1
+                self._remember_query((design_fp, sql), cost)
+            return
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            costs = list(
+                pool.map(lambda sql: self.cost_model.query_cost(sql, design), misses)
+            )
+        for sql, cost in zip(misses, costs):
+            self.stats.raw_model_calls += 1
+            self._remember_query((design_fp, sql), cost)

@@ -17,6 +17,7 @@ from collections.abc import Iterable
 from repro.catalog.schema import Schema
 from repro.costing.profile import QueryProfile
 from repro.costing.report import WorkloadCostReport
+from repro.costing.service import CostEvaluationService, CostModel
 from repro.engine.design import PhysicalDesign
 from repro.engine.optimizer import ColumnarCostModel
 from repro.engine.projection import Projection
@@ -54,11 +55,28 @@ class Designer(abc.ABC):
 
 
 class DesignAdapter(abc.ABC):
-    """The black-box engine surface CliffGuard and the baselines need."""
+    """The black-box engine surface CliffGuard and the baselines need.
 
-    def __init__(self, cost_model, budget_bytes: int):
+    Every adapter speaks to its engine through the shared
+    :class:`~repro.costing.service.CostModel` protocol and routes all
+    what-if evaluation through one
+    :class:`~repro.costing.service.CostEvaluationService`, so the memo
+    cache, batched neighborhood evaluation, and instrumentation are
+    common across the columnar, row-store, and samples substrates
+    rather than re-implemented per engine.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        budget_bytes: int,
+        costing: CostEvaluationService | None = None,
+    ):
         self.cost_model = cost_model
         self.budget_bytes = budget_bytes
+        self.costing = (
+            costing if costing is not None else CostEvaluationService(cost_model)
+        )
 
     @property
     def schema(self) -> Schema:
@@ -94,21 +112,37 @@ class DesignAdapter(abc.ABC):
         return self.cost_model.profile(sql)
 
     def query_cost(self, sql_or_profile, design) -> float:
-        """Estimated latency of one query under ``design``."""
-        return self.cost_model.query_cost(sql_or_profile, design)
+        """Estimated latency of one query under ``design`` (memoized)."""
+        return self.costing.query_cost(sql_or_profile, design)
+
+    def query_costs(self, sqls, design) -> dict[str, float]:
+        """Batched per-query latencies under ``design`` (deduplicated)."""
+        return self.costing.query_costs(sqls, design)
 
     def workload_cost(self, workload: Workload, design) -> WorkloadCostReport:
-        """Latency report of a workload under ``design``."""
-        return self.cost_model.workload_cost(workload, design)
+        """Latency report of a workload under ``design`` (memoized)."""
+        return self.costing.workload_cost(workload, design)
+
+    def evaluate_neighborhood(
+        self, designs, workloads
+    ) -> list[list[WorkloadCostReport]]:
+        """Batched ``designs × workloads`` reports with shared-query dedup."""
+        return self.costing.evaluate_neighborhood(designs, workloads)
 
 
 class ColumnarAdapter(DesignAdapter):
     """Adapter for the Vertica-like columnar engine."""
 
-    def __init__(self, cost_model: ColumnarCostModel, budget_bytes: int | None = None):
+    def __init__(
+        self,
+        cost_model: ColumnarCostModel,
+        budget_bytes: int | None = None,
+        costing: CostEvaluationService | None = None,
+    ):
         super().__init__(
             cost_model,
             budget_bytes if budget_bytes is not None else default_budget_bytes(cost_model.schema),
+            costing,
         )
 
     def empty_design(self) -> PhysicalDesign:
@@ -133,10 +167,16 @@ class ColumnarAdapter(DesignAdapter):
 class RowstoreAdapter(DesignAdapter):
     """Adapter for the DBMS-X-like row store."""
 
-    def __init__(self, cost_model: RowstoreCostModel, budget_bytes: int | None = None):
+    def __init__(
+        self,
+        cost_model: RowstoreCostModel,
+        budget_bytes: int | None = None,
+        costing: CostEvaluationService | None = None,
+    ):
         super().__init__(
             cost_model,
             budget_bytes if budget_bytes is not None else default_budget_bytes(cost_model.schema),
+            costing,
         )
 
     def empty_design(self) -> RowstoreDesign:
@@ -168,12 +208,18 @@ class RowstoreAdapter(DesignAdapter):
 class SamplesAdapter(DesignAdapter):
     """Adapter for the approximate-database (stratified samples) engine."""
 
-    def __init__(self, cost_model: SamplesCostModel, budget_bytes: int | None = None):
+    def __init__(
+        self,
+        cost_model: SamplesCostModel,
+        budget_bytes: int | None = None,
+        costing: CostEvaluationService | None = None,
+    ):
         super().__init__(
             cost_model,
             budget_bytes
             if budget_bytes is not None
             else default_budget_bytes(cost_model.schema, 0.1),
+            costing,
         )
 
     def empty_design(self) -> SampleDesign:

@@ -594,6 +594,63 @@ def run_offline_time(
     return rows
 
 
+# -- costing instrumentation (the `repro stats` CLI view) ---------------------------------
+
+
+@dataclass
+class CostingStatsOutcome:
+    """Evaluation-service instrumentation for one CliffGuard replay."""
+
+    workload: str
+    engine: str
+    replay: ReplayResult
+    service_stats: object  # repro.costing.CostServiceStats
+    cliffguard_report: object | None  # repro.core.cliffguard.CliffGuardReport
+
+
+def run_costing_stats(
+    context: ExperimentContext,
+    workload: str,
+    engine: str = "columnar",
+) -> CostingStatsOutcome:
+    """Replay CliffGuard once and capture the cost-service counters.
+
+    Backs ``python -m repro stats``: how many what-if calls the run
+    requested, how many the memo cache absorbed, the dedup ratio of the
+    batched neighborhood evaluation, and the wall-time spent costing.
+    """
+    if engine == "columnar":
+        adapter = context.columnar_adapter()
+        nominal = ColumnarNominalDesigner(adapter)
+    elif engine == "rowstore":
+        adapter = context.rowstore_adapter()
+        nominal = RowstoreNominalDesigner(adapter)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    windows = context.trace_windows(workload)
+    gamma = context.default_gamma(workload)
+    designers, samplers = build_designers(
+        context, adapter, nominal, gamma, which=["CliffGuard"]
+    )
+    outcome = replay(
+        windows,
+        designers,
+        adapter,
+        candidate_source=nominal,
+        workload_name=workload,
+        max_transitions=context.scale.max_transitions,
+        skip_transitions=context.scale.skip_transitions,
+        before_transition=_past_pool_hook(context.trace(workload), samplers),
+    )
+    return CostingStatsOutcome(
+        workload=workload,
+        engine=engine,
+        replay=outcome,
+        service_stats=adapter.costing.stats.snapshot(),
+        cliffguard_report=designers["CliffGuard"].last_report,
+    )
+
+
 # -- F16: δ_latency correlation ------------------------------------------------------------
 
 

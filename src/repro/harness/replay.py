@@ -67,6 +67,13 @@ class WindowOutcome:
     design_seconds: float
     design_price_bytes: int
     structure_count: int
+    #: Query-cost evaluations this designer requested for this window
+    #: (duplicates collapsed by the batched API counted back in).
+    query_cost_calls: int = 0
+    #: Raw cost-model invocations actually paid (cache misses only).
+    raw_cost_model_calls: int = 0
+    #: Fraction of lookups served from the evaluation service's cache.
+    cache_hit_rate: float = 0.0
 
 
 @dataclass
@@ -96,6 +103,23 @@ class DesignerRun:
         if not self.windows:
             return 0.0
         return sum(w.design_seconds for w in self.windows) / len(self.windows)
+
+    @property
+    def total_query_cost_calls(self) -> int:
+        """Designer effort: query-cost evaluations across all windows."""
+        return sum(w.query_cost_calls for w in self.windows)
+
+    @property
+    def total_raw_cost_model_calls(self) -> int:
+        """Raw cost-model invocations actually paid across all windows."""
+        return sum(w.raw_cost_model_calls for w in self.windows)
+
+    @property
+    def mean_cache_hit_rate(self) -> float:
+        """Average per-window cache hit rate (0 when uninstrumented)."""
+        if not self.windows:
+            return 0.0
+        return sum(w.cache_hit_rate for w in self.windows) / len(self.windows)
 
 
 @dataclass
@@ -168,10 +192,20 @@ def replay(
         result.evaluated_query_counts.append(len(evaluation))
         for name, designer in designers.items():
             input_window = test if getattr(designer, "is_oracle", False) else train
+            service = getattr(adapter, "costing", None)
+            baseline = service.stats.snapshot() if service is not None else None
             started = time.perf_counter()
             design = designer.design(input_window)
             design_seconds = time.perf_counter() - started
             report = adapter.workload_cost(evaluation, design)
+            if service is not None:
+                delta = service.stats.since(baseline)
+                query_calls = delta.query_requests + delta.dedup_saved
+                raw_calls = delta.raw_model_calls
+                hit_rate = delta.hit_rate
+            else:
+                query_calls = raw_calls = 0
+                hit_rate = 0.0
             result.runs[name].windows.append(
                 WindowOutcome(
                     window_index=i,
@@ -180,6 +214,9 @@ def replay(
                     design_seconds=design_seconds,
                     design_price_bytes=adapter.design_price(design),
                     structure_count=len(adapter.structures(design)),
+                    query_cost_calls=query_calls,
+                    raw_cost_model_calls=raw_calls,
+                    cache_hit_rate=hit_rate,
                 )
             )
     return result

@@ -51,6 +51,31 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_costing_stats(stats, title: str | None = None) -> str:
+    """Render a :class:`repro.costing.CostServiceStats` as a counter table."""
+    return format_table(["Counter", "Value"], stats.rows(), title=title)
+
+
+def format_designer_effort(result, title: str | None = None) -> str:
+    """Designer-effort table for a :class:`~repro.harness.replay.ReplayResult`:
+    query-cost evaluations requested, raw cost-model calls paid, and the
+    evaluation-service cache hit rate, per designer."""
+    rows = [
+        [
+            name,
+            run.total_query_cost_calls,
+            run.total_raw_cost_model_calls,
+            run.mean_cache_hit_rate,
+        ]
+        for name, run in result.runs.items()
+    ]
+    return format_table(
+        ["Designer", "Cost calls", "Raw model calls", "Cache hit rate"],
+        rows,
+        title=title,
+    )
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

@@ -33,6 +33,22 @@ class TestParameters:
             CliffGuard(nominal, adapter, sampler, gamma=0.1, lambda_success=0.9)
         with pytest.raises(ValueError):
             CliffGuard(nominal, adapter, sampler, gamma=0.1, lambda_failure=1.5)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, n_samples=0)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, min_worst=0)
+
+    def test_worst_neighbors_clamped_to_neighborhood(self, parts):
+        """min_worst beyond the sample count selects the whole neighborhood
+        (previously an oversized slice silently degraded to the same thing,
+        hiding the misconfiguration from any later stricter selection)."""
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=2, min_worst=50
+        )
+        neighborhood = [window, window, window]
+        worst = robust._worst_neighbors(neighborhood, [3.0, 1.0, 2.0])
+        assert len(worst) == len(neighborhood)
 
 
 class TestDegenerateCases:
@@ -79,6 +95,34 @@ class TestAlgorithm:
         robust.design(window)
         report = robust.last_report
         assert report.designer_calls == 1 + report.iterations
+
+    def test_report_records_cost_calls_and_final_alpha(self, parts):
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=4, max_iterations=3
+        )
+        robust.design(window)
+        report = robust.last_report
+        assert report.query_cost_calls > 0
+        assert report.raw_cost_model_calls > 0
+        assert report.raw_cost_model_calls <= report.query_cost_calls
+        # final α is the last alpha_history entry scaled by its outcome.
+        assert report.final_alpha > 0
+        last = report.alpha_history[-1]
+        assert report.final_alpha == pytest.approx(last * 5.0) or (
+            report.final_alpha == pytest.approx(last * 0.5)
+        )
+
+    def test_neighborhood_evaluation_hits_cache_across_iterations(self, parts):
+        """Re-evaluating the same neighborhood under a revisited design
+        must be served by the evaluation service, not the cost model."""
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=4, max_iterations=3
+        )
+        robust.design(window)
+        report = robust.last_report
+        assert report.cache_hits > 0
 
     def test_alpha_adapts_on_success_and_failure(self, parts):
         adapter, nominal, sampler, window = parts
