@@ -4,52 +4,27 @@ Claim (d) of the introduction: a robust design reduces operational cost by
 requiring less frequent re-designs.  We replay R1 re-designing every
 window vs every other window, for the nominal designer and CliffGuard, and
 compare how much latency each designer loses when its designs must serve
-longer.
+longer.  The (designer, period) grid fans out over the execution backend
+selected by ``REPRO_BACKEND``/``REPRO_JOBS``.
 """
 
-from repro.core.cliffguard import CliffGuard
-from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.harness.experiments import run_schedule_comparison
 from repro.harness.reporting import format_table
-from repro.harness.scheduler import PeriodicPolicy, scheduled_replay
 
 
-def test_extension_redesign_frequency(benchmark, context, emit):
-    def run():
-        adapter = context.columnar_adapter()
-        nominal = ColumnarNominalDesigner(adapter)
-        windows = context.trace_windows("R1")
-        trace = context.trace("R1")
-        gamma = context.default_gamma("R1")
-        results = {}
-        for label, make in (
-            ("nominal", lambda sampler: nominal),
-            (
-                "CliffGuard",
-                lambda sampler: CliffGuard(
-                    nominal, adapter, sampler, gamma,
-                    n_samples=context.scale.n_samples, max_iterations=3,
-                ),
-            ),
-        ):
-            for every in (1, 2):
-                sampler = context.sampler()
-                designer = make(sampler)
-
-                def refresh(i, windows=windows, sampler=sampler):
-                    start, _ = windows[i].span_days
-                    sampler.set_pool([q for q in trace if q.timestamp < start])
-
-                outcome = scheduled_replay(
-                    windows,
-                    designer,
-                    adapter,
-                    PeriodicPolicy(every=every),
-                    before_design=refresh,
-                )
-                results[(label, every)] = outcome
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+def test_extension_redesign_frequency(benchmark, context, emit, backend):
+    results = benchmark.pedantic(
+        run_schedule_comparison,
+        args=(context, "R1"),
+        kwargs={
+            "everies": (1, 2),
+            "designers": ("ExistingDesigner", "CliffGuard"),
+            "iterations": 3,
+            "backend": backend,
+        },
+        rounds=1,
+        iterations=1,
+    )
     emit(
         format_table(
             ["Designer", "Re-design every", "Avg latency (ms)", "Re-designs", "Deploy (s)"],
@@ -69,13 +44,13 @@ def test_extension_redesign_frequency(benchmark, context, emit):
 
     # Halving the re-design frequency must cut deployment cost…
     assert (
-        results[("nominal", 2)].total_deployment_seconds
-        < results[("nominal", 1)].total_deployment_seconds
+        results[("ExistingDesigner", 2)].total_deployment_seconds
+        < results[("ExistingDesigner", 1)].total_deployment_seconds
     )
     # …and the robust designer must tolerate the staleness at least as
     # well as the nominal one (relative degradation no worse).
-    nominal_penalty = results[("nominal", 2)].mean_average_ms / max(
-        results[("nominal", 1)].mean_average_ms, 1e-9
+    nominal_penalty = results[("ExistingDesigner", 2)].mean_average_ms / max(
+        results[("ExistingDesigner", 1)].mean_average_ms, 1e-9
     )
     robust_penalty = results[("CliffGuard", 2)].mean_average_ms / max(
         results[("CliffGuard", 1)].mean_average_ms, 1e-9

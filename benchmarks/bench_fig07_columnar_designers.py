@@ -14,7 +14,8 @@ depend on the synthetic substrate (see EXPERIMENTS.md).
 
 import pytest
 
-from repro.harness.experiments import DESIGNER_ORDER, run_designer_comparison
+from repro.designers import registry
+from repro.harness.experiments import run_designer_comparison
 from repro.harness.reporting import format_table
 
 
@@ -24,7 +25,7 @@ def render(outcome, emit, title):
             ["Designer", "Avg latency (ms)", "Max latency (ms)"],
             [
                 [name, outcome.run(name).mean_average_ms, outcome.run(name).mean_max_ms]
-                for name in DESIGNER_ORDER
+                for name in registry.names()
                 if name in outcome.runs
             ],
             title=title,
@@ -33,9 +34,13 @@ def render(outcome, emit, title):
 
 
 @pytest.mark.parametrize("workload", ["R1", "S1", "S2"])
-def test_fig7_designer_comparison(benchmark, context, emit, workload):
+def test_fig7_designer_comparison(benchmark, context, emit, backend, workload):
     outcome = benchmark.pedantic(
-        run_designer_comparison, args=(context, workload), rounds=1, iterations=1
+        run_designer_comparison,
+        args=(context, workload),
+        kwargs={"backend": backend},
+        rounds=1,
+        iterations=1,
     )
     render(outcome, emit, f"Figure 7: designers on the columnar engine, {workload}")
 

@@ -12,14 +12,14 @@ from repro.harness.reporting import format_table
 
 
 @pytest.mark.parametrize("workload,figure", [("R1", 8), ("S2", 9)])
-def test_gamma_knob(benchmark, context, emit, workload, figure):
+def test_gamma_knob(benchmark, context, emit, backend, workload, figure):
     base_gamma = context.default_gamma(workload)
     gammas = [0.0, base_gamma, 8 * base_gamma]
 
     def run():
-        sweep = run_gamma_sweep(context, workload, gammas=gammas)
+        sweep = run_gamma_sweep(context, workload, gammas=gammas, backend=backend)
         reference = run_designer_comparison(
-            context, workload, which=["ExistingDesigner"]
+            context, workload, which=["ExistingDesigner"], backend=backend
         )
         return sweep, reference
 

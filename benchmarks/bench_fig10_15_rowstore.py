@@ -8,18 +8,19 @@ small margins, S2 larger ones.
 
 import pytest
 
-from repro.harness.experiments import DESIGNER_ORDER, run_designer_comparison
+from repro.designers import registry
+from repro.harness.experiments import run_designer_comparison
 from repro.harness.reporting import format_table
 
 
 @pytest.mark.parametrize(
     "workload,figure", [("R1", "10"), ("S1", "15a"), ("S2", "15b")]
 )
-def test_rowstore_designers(benchmark, context, emit, workload, figure):
+def test_rowstore_designers(benchmark, context, emit, backend, workload, figure):
     outcome = benchmark.pedantic(
         run_designer_comparison,
         args=(context, workload),
-        kwargs={"engine": "rowstore"},
+        kwargs={"engine": "rowstore", "backend": backend},
         rounds=1,
         iterations=1,
     )
@@ -28,7 +29,7 @@ def test_rowstore_designers(benchmark, context, emit, workload, figure):
             ["Designer", "Avg latency (ms)", "Max latency (ms)"],
             [
                 [name, outcome.run(name).mean_average_ms, outcome.run(name).mean_max_ms]
-                for name in DESIGNER_ORDER
+                for name in registry.names()
                 if name in outcome.runs
             ],
             title=f"Figure {figure}: designers on the row store, {workload}",

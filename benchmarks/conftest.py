@@ -17,6 +17,7 @@ from repro.harness.experiments import (
     paper_scale,
     smoke_scale,
 )
+from repro.parallel import backend_from_env
 
 
 def _scale():
@@ -30,6 +31,17 @@ def context() -> ExperimentContext:
     """One shared context: schema, traces, and windows are cached across
     the whole benchmark session."""
     return ExperimentContext(_scale())
+
+
+@pytest.fixture(scope="session")
+def backend():
+    """Execution backend from ``REPRO_BACKEND``/``REPRO_JOBS`` (``None`` =
+    the inline serial path).  Results are bit-identical either way; only
+    the wall clock changes."""
+    executor = backend_from_env()
+    yield executor
+    if executor is not None:
+        executor.shutdown()
 
 
 @pytest.fixture(scope="session")

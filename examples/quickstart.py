@@ -1,79 +1,67 @@
-"""Quickstart: robust vs nominal physical design in ~60 lines.
+"""Quickstart: robust vs nominal physical design via the ``repro.api`` facade.
 
-Builds the star schema, generates a drifting workload, designs with the
-nominal (DBD-style) designer and with CliffGuard, then compares both
-designs on the *next* month's queries — the scenario from the paper's
-introduction.
+One ``RunConfig`` describes the whole run — schema scale, workload, seed,
+and the parallelism knob — and one ``RobustDesignSession`` owns the stack.
+The session designs with CliffGuard on last month's queries, then the
+script compares that design against the nominal (DBD-style) one on the
+*next* month — the scenario from the paper's introduction.
 
 Run:  python examples/quickstart.py
+      REPRO_BACKEND=process REPRO_JOBS=4 python examples/quickstart.py
 """
 
-from repro import (
-    CliffGuard,
-    ColumnarAdapter,
-    ColumnarCostModel,
-    ColumnarNominalDesigner,
-    NeighborhoodSampler,
-    TraceGenerator,
-    WorkloadDistance,
-    build_star_schema,
-    default_budget_bytes,
-    gamma_from_history,
-    r1_profile,
-    split_windows,
-)
-from repro.core.knob import drift_history
+from repro import RobustDesignSession, RunConfig
 
 
 def main() -> None:
-    # 1. A wide multi-fact star schema (the substrate the engines share).
-    schema, roles = build_star_schema()
-    print(f"schema: {len(schema.tables)} tables, {schema.total_columns} columns")
-
-    # 2. Six months of drifting OLAP queries, split into 28-day windows.
-    trace = TraceGenerator(schema, roles, r1_profile(queries_per_day=15), seed=42)
-    queries = trace.generate(days=196)
-    windows = split_windows(queries, 28)
-    print(f"trace: {len(queries)} queries in {len(windows)} windows")
-
-    # 3. The engine stack: cost model + adapter + nominal designer.
-    adapter = ColumnarAdapter(
-        ColumnarCostModel(schema), default_budget_bytes(schema, 0.5)
+    # 1. Describe the run.  backend="auto" honors REPRO_BACKEND/REPRO_JOBS;
+    #    pass backend="process", jobs=4 to pin the parallel backend in code.
+    config = RunConfig(
+        workload="R1",
+        days=196,
+        queries_per_day=15,
+        n_samples=12,
+        seed=42,
     )
-    nominal = ColumnarNominalDesigner(adapter)
 
-    # 4. Pick Γ from observed drift (the paper's simplest knob strategy),
-    #    and build the robust designer around the nominal one.
-    distance = WorkloadDistance(schema.total_columns)
-    gamma = gamma_from_history(drift_history(windows, distance), "avg")
-    print(f"robustness knob Γ = {gamma:.5f} (average past drift)")
+    with RobustDesignSession(config) as session:
+        schema = session.context.schema
+        print(f"schema: {len(schema.tables)} tables, {schema.total_columns} columns")
+        queries = session.context.trace("R1")
+        windows = session.context.trace_windows("R1")
+        print(f"trace: {len(queries)} queries in {len(windows)} windows")
+        print(f"robustness knob Γ = {session.gamma:.5f} (average past drift)")
 
-    train, test = windows[-2], windows[-1]
-    sampler = NeighborhoodSampler(
-        distance,
-        schema,
-        pool=[q for q in queries if q.timestamp < train.span_days[0]],
-        seed=7,
-    )
-    robust = CliffGuard(nominal, adapter, sampler, gamma, n_samples=12)
+        # 2. Design on last month (the session restricts the sampler's
+        #    perturbation pool to the past), evaluate on this month.
+        train, test = windows[-2], windows[-1]
+        outcome = session.design(train)
+        nominal_design = session.nominal.design(train)
 
-    # 5. Design on last month, evaluate on this month.
-    nominal_design = nominal.design(train)
-    robust_design = robust.design(train)
-
-    print("\n                     next-month avg    next-month max   structures")
-    for label, design in (("nominal", nominal_design), ("CliffGuard", robust_design)):
-        report = adapter.workload_cost(test, design)
+        report = outcome.report
         print(
-            f"{label:>12s} design:   {report.average_ms:9.1f} ms    "
-            f"{report.max_ms:10.1f} ms   {len(adapter.structures(design)):6d}"
+            f"CliffGuard ran {report.iterations} iterations on the "
+            f"{report.backend} backend ({report.eval_wall_seconds:.1f}s costing)"
         )
 
-    no_design = adapter.workload_cost(test, adapter.empty_design())
-    print(
-        f"{'no':>12s} design:   {no_design.average_ms:9.1f} ms    "
-        f"{no_design.max_ms:10.1f} ms        0"
-    )
+        print("\n                     next-month avg    next-month max   structures")
+        for label, design in (
+            ("nominal", nominal_design),
+            ("CliffGuard", outcome.design),
+        ):
+            cost = session.adapter.workload_cost(test, design)
+            print(
+                f"{label:>12s} design:   {cost.average_ms:9.1f} ms    "
+                f"{cost.max_ms:10.1f} ms   {len(session.adapter.structures(design)):6d}"
+            )
+
+        no_design = session.adapter.workload_cost(
+            test, session.adapter.empty_design()
+        )
+        print(
+            f"{'no':>12s} design:   {no_design.average_ms:9.1f} ms    "
+            f"{no_design.max_ms:10.1f} ms        0"
+        )
 
 
 if __name__ == "__main__":

@@ -12,31 +12,32 @@ Run:  python examples/retail_drift.py            (fast, ~2-4 min)
 
 import sys
 
-from repro.harness.experiments import (
-    DESIGNER_ORDER,
-    ExperimentContext,
-    ExperimentScale,
-    run_designer_comparison,
-)
+from repro import RobustDesignSession, RunConfig
+from repro.designers import registry
 from repro.harness.reporting import format_table
 
 
 def main() -> None:
     full = "--full" in sys.argv
-    scale = ExperimentScale(
+    config = RunConfig(
+        workload="R1",
+        engine="columnar",
         days=364 if full else 196,
         queries_per_day=25 if full else 15,
         n_samples=16 if full else 10,
         max_transitions=None if full else 1,
         skip_transitions=4,
     )
-    context = ExperimentContext(scale)
     print(
-        f"replaying {scale.days} days of retail analytics "
-        f"({scale.queries_per_day} queries/day, 28-day windows)…"
+        f"replaying {config.days} days of retail analytics "
+        f"({config.queries_per_day} queries/day, 28-day windows)…"
     )
 
-    outcome = run_designer_comparison(context, "R1", engine="columnar")
+    # The per-designer replays fan out over the backend selected by
+    # REPRO_BACKEND/REPRO_JOBS (backend="auto"); results are bit-identical
+    # to the serial run at any worker count.
+    with RobustDesignSession(config) as session:
+        outcome = session.replay()
 
     print()
     print(
@@ -49,7 +50,7 @@ def main() -> None:
                     outcome.run(name).mean_max_ms,
                     outcome.run(name).mean_design_seconds,
                 ]
-                for name in DESIGNER_ORDER
+                for name in registry.names()
             ],
             title="Designer comparison on the drifting retail workload (R1)",
         )

@@ -2,37 +2,34 @@
 
 Sweeps Γ from 0 (purely nominal) to several multiples of the observed
 drift and shows how CliffGuard's next-window latency responds — the
-Section 6.5 experiment (Figures 8–9) as a runnable script.
+Section 6.5 experiment (Figures 8–9) as a runnable script, driven through
+the ``repro.api`` facade.  Each Γ is an independent replay, so the sweep
+fans out across workers when a parallel backend is selected.
 
 Run:  python examples/robustness_knob.py
+      REPRO_BACKEND=process REPRO_JOBS=4 python examples/robustness_knob.py
 """
 
-from repro.harness.experiments import (
-    ExperimentContext,
-    ExperimentScale,
-    run_designer_comparison,
-    run_gamma_sweep,
-)
+from repro import RobustDesignSession, RunConfig
 from repro.harness.reporting import format_series, format_table
 
 
 def main() -> None:
-    scale = ExperimentScale(
+    config = RunConfig(
+        workload="R1",
         days=196,
         queries_per_day=15,
         n_samples=10,
         max_transitions=1,
         skip_transitions=4,
     )
-    context = ExperimentContext(scale)
-    base_gamma = context.default_gamma("R1")
-    print(f"observed average drift between windows: δ ≈ {base_gamma:.5f}")
+    with RobustDesignSession(config) as session:
+        base_gamma = session.gamma
+        print(f"observed average drift between windows: δ ≈ {base_gamma:.5f}")
 
-    gammas = [0.0, 0.5 * base_gamma, base_gamma, 3 * base_gamma, 8 * base_gamma]
-    sweep = run_gamma_sweep(context, "R1", gammas=gammas)
-    nominal = run_designer_comparison(
-        context, "R1", which=["ExistingDesigner"]
-    ).run("ExistingDesigner")
+        gammas = [0.0, 0.5 * base_gamma, base_gamma, 3 * base_gamma, 8 * base_gamma]
+        sweep = session.sweep(gammas=gammas)
+        nominal = session.replay(which=["ExistingDesigner"]).run("ExistingDesigner")
 
     print()
     print(

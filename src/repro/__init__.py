@@ -8,7 +8,16 @@ nominal designers for both, the workload distance metrics and
 designers of Section 6.1, and a replay harness regenerating every table
 and figure of the evaluation.
 
-Quick start::
+Quick start — the supported entry point is the :mod:`repro.api` facade::
+
+    from repro import RobustDesignSession, RunConfig
+
+    with RobustDesignSession(RunConfig(workload="R1", backend="process", jobs=4)) as s:
+        outcome = s.design()       # robust design for the latest window
+        comparison = s.replay()    # Figure 7: the designer comparison
+        sweep = s.sweep()          # Figures 8-9: the robustness knob
+
+The building blocks remain importable for hand-wired setups::
 
     from repro import (
         build_star_schema, r1_profile, TraceGenerator, split_windows,
@@ -61,6 +70,12 @@ from repro.rowstore import (
     RowstoreDesign,
     RowstoreExecutor,
 )
+from repro.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.samples import SampleDesign, SamplesCostModel, StratifiedSample
 from repro.workload import (
     NeighborhoodSampler,
@@ -76,10 +91,21 @@ from repro.workload import (
     split_windows,
 )
 
-__version__ = "1.0.0"
+# The facade imports the experiment harness, which imports the designer and
+# engine layers above — so it must come last.
+from repro.api import DesignOutcome, RobustDesignSession, RunConfig
+
+__version__ = "1.1.0"
 
 __all__ = [
     "CliffGuard",
+    "DesignOutcome",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "RobustDesignSession",
+    "RunConfig",
+    "SerialBackend",
+    "ThreadBackend",
     "Column",
     "ColumnType",
     "ColumnarAdapter",

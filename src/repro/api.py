@@ -1,0 +1,323 @@
+"""The stable public entry point: ``RunConfig`` + ``RobustDesignSession``.
+
+Before this module, launching a run meant hand-wiring
+``ExperimentScale`` → ``ExperimentContext`` → adapter → nominal designer
+→ sampler → ``CliffGuard`` with ~13 constructor kwargs.  The facade
+collapses that to::
+
+    from repro import RobustDesignSession, RunConfig
+
+    session = RobustDesignSession(RunConfig(workload="R1", jobs=4, backend="process"))
+    outcome = session.design()        # robust design for the latest window
+    sweep = session.sweep()           # Figures 8-9: the Γ knob
+    comparison = session.replay()     # Figure 7: the designer zoo
+
+``RunConfig`` is a frozen dataclass that validates every knob at
+construction; ``RobustDesignSession`` owns the lazily built context,
+engine stack, and execution backend (see :mod:`repro.parallel`).  The
+``backend``/``jobs`` pair is the single parallelism knob: ``design()``
+fans the Γ-neighborhood costing out across workers, while ``sweep()`` and
+``replay()`` fan out whole per-Γ / per-designer replays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields, replace
+
+from repro.core.cliffguard import CliffGuardReport
+from repro.designers import registry
+from repro.harness.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    _engine_stack,
+    run_designer_comparison,
+    run_gamma_sweep,
+    run_schedule_comparison,
+)
+from repro.harness.replay import ReplayResult
+from repro.harness.scheduler import ScheduleOutcome
+from repro.parallel.backends import ExecutionBackend, resolve_backend
+from repro.workload.workload import Workload
+
+WORKLOADS = ("R1", "S1", "S2")
+ENGINES = ("columnar", "rowstore")
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Every knob of a run, validated once, immutable thereafter.
+
+    ``backend="auto"`` defers to the ``REPRO_BACKEND``/``REPRO_JOBS``
+    environment (falling back to serial) — that is how the CI matrix runs
+    the whole suite on the process backend without touching call sites.
+    """
+
+    #: Trace profile: drifting retail (R1), static (S1), drifting (S2).
+    workload: str = "R1"
+    #: Engine substrate: Vertica-like columnar or DBMS-X-like row store.
+    engine: str = "columnar"
+    #: Trace length in days.
+    days: int = 196
+    #: Replay window size in days.
+    window_days: int = 28
+    #: Workload intensity.
+    queries_per_day: int = 15
+    #: Γ-neighborhood sample count n (paper default 20).
+    n_samples: int = 10
+    #: CliffGuard iteration budget (paper default 5).
+    iterations: int = 5
+    #: Seed for trace generation and neighborhood sampling.
+    seed: int = 42
+    #: Robustness knob Γ; ``None`` derives it from average past drift.
+    gamma: float | None = None
+    #: Legacy (never-queried) tables padding the schema.
+    legacy_tables: int = 200
+    #: Train→test transitions evaluated per replay (``None`` = all).
+    max_transitions: int | None = 1
+    #: Warm-up transitions skipped at the start of every replay.
+    skip_transitions: int = 3
+    #: Storage budget as a fraction of raw data bytes.
+    budget_fraction: float = 0.5
+    #: Execution backend: "auto", "serial", "thread", "process", an
+    #: :class:`~repro.parallel.backends.ExecutionBackend` instance, or
+    #: ``None`` for the inline serial path.
+    backend: ExecutionBackend | str | None = "auto"
+    #: Worker count for the thread/process backends (``None`` = one per core).
+    jobs: int | None = None
+    #: Per-task timeout (seconds) before a task is retried serially.
+    task_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"workload must be one of {WORKLOADS}, got {self.workload!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        for name in ("days", "window_days", "queries_per_day", "n_samples"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        if self.days < self.window_days:
+            raise ValueError("days must cover at least one window")
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        if self.gamma is not None and self.gamma < 0:
+            raise ValueError("gamma must be non-negative when set")
+        if self.legacy_tables < 0:
+            raise ValueError("legacy_tables must be non-negative")
+        if self.max_transitions is not None and self.max_transitions < 1:
+            raise ValueError("max_transitions must be at least 1 when set")
+        if self.skip_transitions < 0:
+            raise ValueError("skip_transitions must be non-negative")
+        if not 0 < self.budget_fraction <= 1:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if self.backend is not None and not isinstance(self.backend, ExecutionBackend):
+            if not isinstance(self.backend, str) or self.backend not in BACKENDS:
+                raise ValueError(
+                    f"backend must be one of {BACKENDS} or an ExecutionBackend, "
+                    f"got {self.backend!r}"
+                )
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be at least 1 when set")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive when set")
+
+    def with_overrides(self, **overrides) -> "RunConfig":
+        """A copy with some knobs replaced (re-validated)."""
+        return replace(self, **overrides)
+
+    def scale(self) -> ExperimentScale:
+        """The harness-level size knobs this config implies."""
+        return ExperimentScale(
+            days=self.days,
+            window_days=self.window_days,
+            queries_per_day=self.queries_per_day,
+            n_samples=self.n_samples,
+            iterations=self.iterations,
+            seed=self.seed,
+            legacy_tables=self.legacy_tables,
+            max_transitions=self.max_transitions,
+            skip_transitions=self.skip_transitions,
+            budget_fraction=self.budget_fraction,
+        )
+
+
+@dataclass
+class DesignOutcome:
+    """Result of one :meth:`RobustDesignSession.design` call."""
+
+    #: The robust design (engine-specific design object).
+    design: object
+    #: Individual structures inside the design.
+    structures: list = field(default_factory=list)
+    #: Total bytes of the design (the paper's ``price(D)``).
+    price_bytes: int = 0
+    #: CliffGuard's run trace, including cost-call effort, the execution
+    #: backend used, and the costing wall-time.
+    report: CliffGuardReport | None = None
+    #: Wall-clock seconds of the whole design call.
+    wall_seconds: float = 0.0
+
+
+class RobustDesignSession:
+    """One configured run: context, engine stack, backend — lazily built.
+
+    The session is the supported way to launch runs; the CLI, the
+    benchmark suite, and the examples all construct through it.  Use as a
+    context manager (or call :meth:`close`) to release pooled workers.
+    """
+
+    def __init__(self, config: RunConfig | None = None, **overrides):
+        if config is None:
+            config = RunConfig(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self._context: ExperimentContext | None = None
+        self._backend: ExecutionBackend | None = None
+        self._backend_resolved = False
+        self._adapter = None
+        self._nominal = None
+
+    # -- lazily built pieces -----------------------------------------------------
+
+    @property
+    def context(self) -> ExperimentContext:
+        """Schema, traces, and windows at the configured scale."""
+        if self._context is None:
+            self._context = ExperimentContext(self.config.scale())
+        return self._context
+
+    @property
+    def backend(self) -> ExecutionBackend | None:
+        """The resolved execution backend (``None`` = inline serial)."""
+        if not self._backend_resolved:
+            self._backend = resolve_backend(
+                self.config.backend,
+                jobs=self.config.jobs,
+                task_timeout=self.config.task_timeout,
+            )
+            self._backend_resolved = True
+        return self._backend
+
+    @property
+    def adapter(self):
+        """The engine adapter, with neighborhood costing fanned out over
+        the session backend."""
+        if self._adapter is None:
+            self._adapter, self._nominal = _engine_stack(
+                self.context, self.config.engine, self.backend
+            )
+        return self._adapter
+
+    @property
+    def nominal(self):
+        """The engine's nominal ("existing") designer."""
+        self.adapter
+        return self._nominal
+
+    @property
+    def gamma(self) -> float:
+        """The robustness knob: configured, or derived from past drift."""
+        if self.config.gamma is not None:
+            return self.config.gamma
+        return self.context.default_gamma(self.config.workload)
+
+    def designer(self, name: str = "CliffGuard", **cfg):
+        """Build one registered designer wired to this session's stack."""
+        merged = {
+            "n_samples": self.config.n_samples,
+            "max_iterations": self.config.iterations,
+            **cfg,
+        }
+        designer, sampler = registry.get(
+            name, self.adapter, self.nominal, self.gamma,
+            make_sampler=self.context.sampler, **merged,
+        )
+        return designer, sampler
+
+    # -- the three entry points ----------------------------------------------------
+
+    def design(self, window: Workload | int | None = None) -> DesignOutcome:
+        """Run CliffGuard on one window and return the robust design.
+
+        ``window`` is a :class:`Workload`, a window index, or ``None`` for
+        the latest complete window.  The sampler's perturbation pool is
+        restricted to queries strictly before the window (no peeking at
+        the future).  Neighborhood costing fans out over the session
+        backend; results are bit-identical to serial at any worker count.
+        """
+        windows = self.context.trace_windows(self.config.workload)
+        if window is None:
+            window = windows[-2] if len(windows) > 1 else windows[-1]
+        elif isinstance(window, int):
+            window = windows[window]
+        designer, sampler = self.designer("CliffGuard")
+        start, _ = window.span_days
+        sampler.set_pool(
+            [q for q in self.context.trace(self.config.workload) if q.timestamp < start]
+        )
+        started = time.perf_counter()
+        design = designer.design(window)
+        wall = time.perf_counter() - started
+        return DesignOutcome(
+            design=design,
+            structures=self.adapter.structures(design),
+            price_bytes=self.adapter.design_price(design),
+            report=designer.last_report,
+            wall_seconds=wall,
+        )
+
+    def replay(self, which: list[str] | None = None) -> ReplayResult:
+        """The Figure 7 / 10 / 15 designer comparison (per-designer fan-out)."""
+        return run_designer_comparison(
+            self.context,
+            self.config.workload,
+            engine=self.config.engine,
+            which=which,
+            gamma=self.config.gamma,
+            backend=self.backend,
+        )
+
+    def sweep(self, gammas: list[float] | None = None) -> dict[float, tuple[float, float]]:
+        """The Figures 8–9 robustness-knob sweep (per-Γ fan-out)."""
+        return run_gamma_sweep(
+            self.context, self.config.workload, gammas=gammas, backend=self.backend
+        )
+
+    def schedule(
+        self,
+        everies: tuple[int, ...] = (1, 2),
+        designers: tuple[str, ...] = ("ExistingDesigner", "CliffGuard"),
+    ) -> dict[tuple[str, int], ScheduleOutcome]:
+        """Re-design-frequency comparison (per-(designer, period) fan-out)."""
+        return run_schedule_comparison(
+            self.context,
+            self.config.workload,
+            engine=self.config.engine,
+            everies=everies,
+            designers=designers,
+            gamma=self.config.gamma,
+            backend=self.backend,
+        )
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pooled backend workers (the session stays usable)."""
+        if self._backend is not None:
+            self._backend.shutdown()
+
+    def __enter__(self) -> "RobustDesignSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        knobs = ", ".join(
+            f"{f.name}={getattr(self.config, f.name)!r}"
+            for f in fields(self.config)
+            if getattr(self.config, f.name) != f.default
+        )
+        return f"RobustDesignSession({knobs})"

@@ -10,7 +10,10 @@ Commands:
 * ``stats`` — cost-evaluation-service counters for a CliffGuard replay
   (what-if calls, cache hits, dedup ratio, costing wall-time).
 
-All commands are deterministic given ``--seed``.
+Every command builds a :class:`repro.api.RobustDesignSession` from the
+flags; ``--backend``/``--jobs`` select the execution backend that fans out
+neighborhood costing and experiment grids (see :mod:`repro.parallel`).
+All commands are deterministic given ``--seed`` at any worker count.
 """
 
 from __future__ import annotations
@@ -18,16 +21,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness.experiments import (
-    DESIGNER_ORDER,
-    ExperimentContext,
-    ExperimentScale,
-    build_designers,
-    run_costing_stats,
-    run_designer_comparison,
-    run_gamma_sweep,
-    run_table1,
-)
+from repro.api import RobustDesignSession, RunConfig
+from repro.designers import registry
+from repro.harness.experiments import run_costing_stats, run_table1
 from repro.harness.reporting import (
     format_costing_stats,
     format_designer_effort,
@@ -48,10 +44,21 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--transitions", type=int, default=1, help="evaluated window transitions"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution backend (auto = REPRO_BACKEND env, else serial)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker count for thread/process"
+    )
 
 
-def _context(args: argparse.Namespace) -> ExperimentContext:
-    scale = ExperimentScale(
+def _session(args: argparse.Namespace) -> RobustDesignSession:
+    config = RunConfig(
+        workload=args.workload,
+        engine=getattr(args, "engine", "columnar"),
         days=args.days,
         window_days=args.window_days,
         queries_per_day=args.queries_per_day,
@@ -59,12 +66,15 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         seed=args.seed,
         max_transitions=args.transitions,
         skip_transitions=max(0, args.days // args.window_days - 1 - args.transitions),
+        backend=args.backend,
+        jobs=args.jobs,
     )
-    return ExperimentContext(scale)
+    return RobustDesignSession(config)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    context = _context(args)
+    session = _session(args)
+    context = session.context
     schema = context.schema
     windows = context.trace_windows(args.workload)
     print(f"schema: {len(schema.tables)} tables, {schema.total_columns} columns")
@@ -72,13 +82,12 @@ def cmd_info(args: argparse.Namespace) -> int:
         f"workload {args.workload}: {len(context.trace(args.workload))} queries, "
         f"{len(windows)} windows of {args.window_days} days"
     )
-    print(f"default Γ (avg past drift): {context.default_gamma(args.workload):.6f}")
+    print(f"default Γ (avg past drift): {session.gamma:.6f}")
     return 0
 
 
 def cmd_drift(args: argparse.Namespace) -> int:
-    context = _context(args)
-    rows = run_table1(context)
+    rows = run_table1(_session(args).context)
     print(
         format_table(
             ["Workload", "Min δ", "Max δ", "Avg δ", "Std δ"],
@@ -90,84 +99,77 @@ def cmd_drift(args: argparse.Namespace) -> int:
 
 
 def cmd_design(args: argparse.Namespace) -> int:
-    context = _context(args)
-    if args.engine == "columnar":
-        adapter = context.columnar_adapter()
-        from repro.designers.columnar_nominal import ColumnarNominalDesigner
-
-        nominal = ColumnarNominalDesigner(adapter)
-    else:
-        adapter = context.rowstore_adapter()
-        from repro.designers.rowstore_nominal import RowstoreNominalDesigner
-
-        nominal = RowstoreNominalDesigner(adapter)
-    gamma = context.default_gamma(args.workload)
-    designers, samplers = build_designers(
-        context, adapter, nominal, gamma, which=[args.designer]
-    )
-    windows = context.trace_windows(args.workload)
-    index = min(len(windows) - 2, max(0, len(windows) - 1 - args.transitions))
-    window = windows[index]
-    for sampler in samplers:
-        sampler.set_pool(
-            [
-                q
-                for q in context.trace(args.workload)
-                if q.timestamp < window.span_days[0]
-            ]
+    with _session(args) as session:
+        designer, sampler = session.designer(args.designer)
+        windows = session.context.trace_windows(args.workload)
+        index = min(len(windows) - 2, max(0, len(windows) - 1 - args.transitions))
+        window = windows[index]
+        if sampler is not None:
+            sampler.set_pool(
+                [
+                    q
+                    for q in session.context.trace(args.workload)
+                    if q.timestamp < window.span_days[0]
+                ]
+            )
+        design = designer.design(window)
+        structures = session.adapter.structures(design)
+        print(
+            f"{args.designer} produced {len(structures)} structures "
+            f"({session.adapter.design_price(design) / 1e9:.2f} GB):"
         )
-    design = designers[args.designer].design(window)
-    structures = adapter.structures(design)
-    print(
-        f"{args.designer} produced {len(structures)} structures "
-        f"({adapter.design_price(design) / 1e9:.2f} GB):"
-    )
-    for structure in structures[: args.limit]:
-        print("  " + structure.to_sql())
-    if len(structures) > args.limit:
-        print(f"  … and {len(structures) - args.limit} more (raise --limit)")
+        for structure in structures[: args.limit]:
+            print("  " + structure.to_sql())
+        if len(structures) > args.limit:
+            print(f"  … and {len(structures) - args.limit} more (raise --limit)")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    context = _context(args)
-    outcome = run_designer_comparison(context, args.workload, engine=args.engine)
-    print(
-        format_table(
-            ["Designer", "Avg latency (ms)", "Max latency (ms)"],
-            [
+    with _session(args) as session:
+        outcome = session.replay()
+        title = f"Designer comparison: {args.workload} on the {args.engine} engine"
+        print(
+            format_table(
+                ["Designer", "Avg latency (ms)", "Max latency (ms)"],
                 [
-                    name,
-                    outcome.run(name).mean_average_ms,
-                    outcome.run(name).mean_max_ms,
-                ]
-                for name in DESIGNER_ORDER
-                if name in outcome.runs
-            ],
-            title=f"Designer comparison: {args.workload} on the {args.engine} engine",
+                    [
+                        name,
+                        outcome.run(name).mean_average_ms,
+                        outcome.run(name).mean_max_ms,
+                    ]
+                    for name in registry.names()
+                    if name in outcome.runs
+                ],
+                title=title,
+            )
         )
-    )
     return 0
 
 
 def cmd_gamma(args: argparse.Namespace) -> int:
-    context = _context(args)
-    base = context.default_gamma(args.workload)
-    gammas = [m * base for m in (0.0, 0.5, 1.0, 2.0, 6.0)]
-    sweep = run_gamma_sweep(context, args.workload, gammas=gammas)
-    print(
-        format_table(
-            ["Γ", "Avg latency (ms)", "Max latency (ms)"],
-            [[f"{g:.5f}", avg, mx] for g, (avg, mx) in sorted(sweep.items())],
-            title=f"Robustness-knob sweep on {args.workload} (Figures 8–9)",
+    with _session(args) as session:
+        base = session.gamma
+        gammas = [m * base for m in (0.0, 0.5, 1.0, 2.0, 6.0)]
+        sweep = session.sweep(gammas=gammas)
+        print(
+            format_table(
+                ["Γ", "Avg latency (ms)", "Max latency (ms)"],
+                [[f"{g:.5f}", avg, mx] for g, (avg, mx) in sorted(sweep.items())],
+                title=f"Robustness-knob sweep on {args.workload} (Figures 8–9)",
+            )
         )
-    )
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    context = _context(args)
-    outcome = run_costing_stats(context, args.workload, engine=args.engine)
+    with _session(args) as session:
+        outcome = run_costing_stats(
+            session.context,
+            args.workload,
+            engine=args.engine,
+            backend=session.backend,
+        )
     print(
         format_costing_stats(
             outcome.service_stats,
@@ -187,7 +189,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"{report.accepted_moves} accepted moves, "
             f"{report.query_cost_calls} query-cost calls "
             f"({report.raw_cost_model_calls} raw), "
-            f"final α = {report.final_alpha:g}"
+            f"final α = {report.final_alpha:g}, "
+            f"backend = {report.backend} "
+            f"({report.eval_wall_seconds:.2f}s costing)"
         )
     return 0
 
@@ -218,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
             )
         if "designer" in extras:
             sub.add_argument(
-                "--designer", choices=DESIGNER_ORDER, default="CliffGuard"
+                "--designer", choices=registry.names(), default="CliffGuard"
             )
         if "limit" in extras:
             sub.add_argument("--limit", type=int, default=10)

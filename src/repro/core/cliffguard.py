@@ -48,6 +48,11 @@ class CliffGuardReport:
     cache_hits: int = 0
     #: The step size after the last accepted/rejected move.
     final_alpha: float = 0.0
+    #: Execution backend that filled cost-cache misses ("serial",
+    #: "thread", or "process") — see :mod:`repro.parallel`.
+    backend: str = "serial"
+    #: Wall-clock seconds spent inside cost evaluation during this run.
+    eval_wall_seconds: float = 0.0
 
 
 class CliffGuard(Designer):
@@ -76,6 +81,10 @@ class CliffGuard(Designer):
             raise ValueError("gamma must be non-negative")
         if n_samples < 1:
             raise ValueError("n_samples must be at least 1")
+        if max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        if initial_alpha <= 0:
+            raise ValueError("initial_alpha must be positive")
         if min_worst < 1:
             raise ValueError("min_worst must be at least 1")
         if not 0 < worst_fraction <= 1:
@@ -84,6 +93,8 @@ class CliffGuard(Designer):
             raise ValueError("lambda_success must exceed 1")
         if not 0 < lambda_failure < 1:
             raise ValueError("lambda_failure must be in (0, 1)")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be at least 1 when set")
         self.nominal = nominal
         self.adapter = adapter
         self.sampler = sampler
@@ -196,7 +207,9 @@ class CliffGuard(Designer):
         report.final_alpha = alpha
         if service is None or baseline is None:
             return
+        report.backend = service.backend_name
         delta = service.stats.since(baseline)
+        report.eval_wall_seconds = delta.eval_seconds
         # Total query-cost evaluations the run asked for, counting the
         # duplicates the batched API collapsed — the effort a designer
         # without the evaluation service would have paid.

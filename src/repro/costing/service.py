@@ -43,11 +43,12 @@ import hashlib
 import time
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.costing.report import WorkloadCostReport
+from repro.parallel.backends import ExecutionBackend, ThreadBackend, resolve_backend
+from repro.parallel.partition import chunk_count, contiguous_chunks
 
 #: Default bound on the per-(design, query) memo cache.  Sized to hold a
 #: full bench-scale CliffGuard run's working set (~550k distinct pairs:
@@ -234,6 +235,8 @@ class CostEvaluationService:
         max_query_entries: int = DEFAULT_MAX_QUERY_ENTRIES,
         max_workload_entries: int = DEFAULT_MAX_WORKLOAD_ENTRIES,
         max_workers: int | None = None,
+        backend: ExecutionBackend | str | None = None,
+        jobs: int | None = None,
     ):
         if max_query_entries < 1 or max_workload_entries < 1:
             raise ValueError("cache bounds must be positive")
@@ -243,6 +246,11 @@ class CostEvaluationService:
         self.max_query_entries = max_query_entries
         self.max_workload_entries = max_workload_entries
         self.max_workers = max_workers
+        # ``backend`` is the one knob; ``max_workers`` is the pre-backend
+        # spelling of the thread pool and maps onto ThreadBackend.
+        self.backend = resolve_backend(backend, jobs=jobs)
+        if self.backend is None and max_workers is not None:
+            self.backend = ThreadBackend(jobs=max_workers)
         self.stats = CostServiceStats()
         #: (design_fp, sql) -> cost, LRU-ordered (oldest first).
         self._query_cache: OrderedDict[tuple[str, str], float] = OrderedDict()
@@ -386,9 +394,13 @@ class CostEvaluationService:
         many neighbors contain it.  Returns ``result[d][w]``, the report
         of ``workloads[w]`` under ``designs[d]``.
 
-        When the service was built with ``max_workers``, distinct cache
-        misses fan out across a thread pool; results are identical to the
-        serial path (the cost models are pure given fixed statistics).
+        When the service was built with an execution backend (or the
+        legacy ``max_workers``), distinct cache misses fan out across the
+        backend's workers in deterministic contiguous chunks; results are
+        bit-identical to the serial path at any worker count (the cost
+        models are pure given fixed statistics, workers return per-task
+        cost lists, and the parent merges them — and updates every
+        counter — in chunk order).
         """
         with _Timer(self.stats):
             materialized = [list(w) for w in workloads]
@@ -445,20 +457,43 @@ class CostEvaluationService:
         self._remember_query((design_fp, sql), cost)
         return cost
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the execution backend filling cache misses."""
+        return self.backend.name if self.backend is not None else "serial"
+
     def _fill_misses(self, design, design_fp: str, misses: list[str]) -> None:
-        """Cost the uncached SQL texts for one design (optionally in a pool)."""
+        """Cost the uncached SQL texts for one design (optionally fanned
+        out over the execution backend).
+
+        Workers are pure: they return per-chunk cost lists and never touch
+        the cache or the counters.  The parent merges chunk results in
+        chunk order — chunks are ordered contiguous slices of ``misses``,
+        so cache insertion order and every counter match the serial path
+        exactly.
+        """
         if not misses:
             return
-        if self.max_workers is None or len(misses) < 2:
+        if self.backend is None or len(misses) < 2:
             for sql in misses:
                 cost = self.cost_model.query_cost(sql, design)
                 self.stats.raw_model_calls += 1
                 self._remember_query((design_fp, sql), cost)
             return
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            costs = list(
-                pool.map(lambda sql: self.cost_model.query_cost(sql, design), misses)
-            )
-        for sql, cost in zip(misses, costs):
-            self.stats.raw_model_calls += 1
-            self._remember_query((design_fp, sql), cost)
+        chunks = contiguous_chunks(misses, chunk_count(len(misses), self.backend.jobs))
+        tasks = [(self.cost_model, design, chunk) for chunk in chunks]
+        per_chunk = self.backend.map(_evaluate_cost_chunk, tasks)
+        for chunk, costs in zip(chunks, per_chunk):
+            for sql, cost in zip(chunk, costs):
+                self.stats.raw_model_calls += 1
+                self._remember_query((design_fp, sql), cost)
+
+
+def _evaluate_cost_chunk(task) -> list[float]:
+    """Worker body for one chunk of cache misses.
+
+    Module-level (picklable for the process backend); returns raw costs
+    only — the parent owns all cache and counter mutation.
+    """
+    cost_model, design, sqls = task
+    return [cost_model.query_cost(sql, design) for sql in sqls]

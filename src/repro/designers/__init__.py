@@ -14,6 +14,7 @@ CliffGuard itself lives in :mod:`repro.core.cliffguard`; it wraps any of
 the nominal designers through the same :class:`DesignAdapter` interface.
 """
 
+from repro.designers import registry
 from repro.designers.base import (
     ColumnarAdapter,
     DesignAdapter,
@@ -44,4 +45,5 @@ __all__ = [
     "SamplesAdapter",
     "SamplesNominalDesigner",
     "default_budget_bytes",
+    "registry",
 ]

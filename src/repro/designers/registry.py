@@ -1,0 +1,156 @@
+"""Designer registry: one named factory per designer of Section 6.1.
+
+Replaces the hand-maintained ``DESIGNER_ORDER`` list /
+``build_designers`` dispatch pair in :mod:`repro.harness.experiments`
+(both still work but emit :class:`DeprecationWarning`).  Factories are
+registered under their paper display name in canonical display order;
+:func:`get` builds one designer, :func:`build_all` the whole zoo.
+
+A factory receives the shared wiring — adapter, nominal designer, Γ, the
+neighborhood sampler factory — plus per-designer overrides, and returns
+``(designer, sampler_or_None)``.  The sampler is surfaced so the replay
+hooks can keep perturbation pools restricted to past queries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+
+from repro.designers.base import DesignAdapter, Designer
+from repro.designers.future_knowing import FutureKnowingDesigner
+from repro.designers.local_search import OptimalLocalSearchDesigner
+from repro.designers.majority_vote import MajorityVoteDesigner
+from repro.designers.no_design import NoDesign
+from repro.workload.sampler import NeighborhoodSampler
+
+#: name -> factory(adapter, nominal, gamma, make_sampler, **cfg)
+_FACTORIES: "OrderedDict[str, Callable]" = OrderedDict()
+
+
+def register(name: str, factory: Callable, replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` (appended to display order)."""
+    if name in _FACTORIES and not replace:
+        raise ValueError(f"designer {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def names() -> list[str]:
+    """Registered designer names in canonical display order."""
+    return list(_FACTORIES)
+
+
+def get(
+    name: str,
+    adapter: DesignAdapter,
+    nominal: Designer,
+    gamma: float,
+    make_sampler: Callable[[], NeighborhoodSampler] | None = None,
+    **cfg,
+) -> tuple[Designer, NeighborhoodSampler | None]:
+    """Build one designer by registered name.
+
+    ``make_sampler`` is called (at most once) by factories that explore a
+    Γ-neighborhood; the sampler is returned alongside the designer so the
+    caller can manage its perturbation pool.  ``cfg`` carries per-designer
+    overrides (``n_samples``, ``max_iterations``, …).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown designer {name!r} (registered: {', '.join(_FACTORIES)})"
+        ) from None
+    return factory(adapter, nominal, gamma, make_sampler, **cfg)
+
+
+def build_all(
+    adapter: DesignAdapter,
+    nominal: Designer,
+    gamma: float,
+    make_sampler: Callable[[], NeighborhoodSampler] | None = None,
+    which: list[str] | None = None,
+    **cfg,
+) -> tuple[dict[str, Designer], list[NeighborhoodSampler]]:
+    """Build the designer zoo (or the ``which`` subset) in display order."""
+    designers: dict[str, Designer] = {}
+    samplers: list[NeighborhoodSampler] = []
+    for name in which if which is not None else names():
+        designer, sampler = get(name, adapter, nominal, gamma, make_sampler, **cfg)
+        designers[name] = designer
+        if sampler is not None:
+            samplers.append(sampler)
+    return designers, samplers
+
+
+# -- the Section 6.1 zoo -----------------------------------------------------------
+
+
+def _require_sampler(name: str, make_sampler) -> NeighborhoodSampler:
+    if make_sampler is None:
+        raise ValueError(f"designer {name!r} needs a sampler factory (make_sampler)")
+    return make_sampler()
+
+
+def _no_design(adapter, nominal, gamma, make_sampler, **cfg):
+    return NoDesign(adapter), None
+
+
+def _future_knowing(adapter, nominal, gamma, make_sampler, **cfg):
+    return FutureKnowingDesigner(nominal), None
+
+
+def _existing(adapter, nominal, gamma, make_sampler, **cfg):
+    return nominal, None
+
+
+def _majority_vote(adapter, nominal, gamma, make_sampler, **cfg):
+    sampler = _require_sampler("MajorityVoteDesigner", make_sampler)
+    n_samples = cfg.get("n_samples", 20)
+    return (
+        MajorityVoteDesigner(nominal, adapter, sampler, gamma, n_samples=n_samples),
+        sampler,
+    )
+
+
+def _local_search(adapter, nominal, gamma, make_sampler, **cfg):
+    sampler = _require_sampler("OptimalLocalSearchDesigner", make_sampler)
+    n_samples = cfg.get("n_samples", 20)
+    return (
+        OptimalLocalSearchDesigner(nominal, adapter, sampler, gamma, n_samples=n_samples),
+        sampler,
+    )
+
+
+def _cliffguard(adapter, nominal, gamma, make_sampler, **cfg):
+    # Imported lazily: repro.core.cliffguard imports repro.designers.base,
+    # so a top-level import here would be circular when repro.core loads
+    # first.
+    from repro.core.cliffguard import CliffGuard
+
+    sampler = _require_sampler("CliffGuard", make_sampler)
+    kwargs = {
+        key: value
+        for key, value in cfg.items()
+        if key not in ("n_samples", "max_iterations")
+    }
+    return (
+        CliffGuard(
+            nominal,
+            adapter,
+            sampler,
+            gamma,
+            n_samples=cfg.get("n_samples", 20),
+            max_iterations=cfg.get("max_iterations", 5),
+            **kwargs,
+        ),
+        sampler,
+    )
+
+
+register("NoDesign", _no_design)
+register("FutureKnowingDesigner", _future_knowing)
+register("ExistingDesigner", _existing)
+register("MajorityVoteDesigner", _majority_vote)
+register("OptimalLocalSearchDesigner", _local_search)
+register("CliffGuard", _cliffguard)

@@ -25,12 +25,15 @@ F16       Figure 16 — δ_latency correlation at ω = 0.1 / 0.2
 from __future__ import annotations
 
 import statistics as stats_module
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.cliffguard import CliffGuard
 from repro.core.knob import drift_history, gamma_from_history
+from repro.costing.service import CostEvaluationService
+from repro.designers import registry
 from repro.designers.base import (
     ColumnarAdapter,
     DesignAdapter,
@@ -38,12 +41,9 @@ from repro.designers.base import (
     default_budget_bytes,
 )
 from repro.designers.columnar_nominal import ColumnarNominalDesigner
-from repro.designers.future_knowing import FutureKnowingDesigner
-from repro.designers.local_search import OptimalLocalSearchDesigner
-from repro.designers.majority_vote import MajorityVoteDesigner
-from repro.designers.no_design import NoDesign
 from repro.designers.rowstore_nominal import RowstoreNominalDesigner
 from repro.engine.optimizer import ColumnarCostModel
+from repro.parallel.backends import ExecutionBackend, resolve_backend
 from repro.rowstore.optimizer import RowstoreCostModel
 from repro.workload.distance import SWGO, LatencyAwareDistance, WorkloadDistance
 from repro.workload.generator import (
@@ -58,17 +58,22 @@ from repro.workload.query import WorkloadQuery
 from repro.workload.sampler import NeighborhoodSampler
 from repro.workload.windows import shared_template_fraction, split_windows
 from repro.workload.workload import Workload
-from repro.harness.replay import ReplayResult, replay
+from repro.harness.replay import DesignerRun, ReplayResult, replay
+from repro.harness.scheduler import PeriodicPolicy, ScheduleOutcome, scheduled_replay
 
-#: Designer display names used across all experiments (paper Section 6.1).
-DESIGNER_ORDER = [
-    "NoDesign",
-    "FutureKnowingDesigner",
-    "ExistingDesigner",
-    "MajorityVoteDesigner",
-    "OptimalLocalSearchDesigner",
-    "CliffGuard",
-]
+
+def __getattr__(name: str):
+    # ``DESIGNER_ORDER`` moved to the designer registry; keep the old
+    # module attribute working (with a nudge) for one deprecation cycle.
+    if name == "DESIGNER_ORDER":
+        warnings.warn(
+            "repro.harness.experiments.DESIGNER_ORDER is deprecated; use "
+            "repro.designers.registry.names()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return registry.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -154,28 +159,79 @@ class ExperimentContext:
 
     # -- engine stacks -----------------------------------------------------------
 
-    def columnar_adapter(self) -> ColumnarAdapter:
+    def columnar_adapter(
+        self, backend: ExecutionBackend | str | None = None
+    ) -> ColumnarAdapter:
+        model = ColumnarCostModel(self.schema)
         return ColumnarAdapter(
-            ColumnarCostModel(self.schema),
+            model,
             default_budget_bytes(self.schema, self.scale.budget_fraction),
+            costing=self._costing(model, backend),
         )
 
-    def rowstore_adapter(self) -> RowstoreAdapter:
+    def rowstore_adapter(
+        self, backend: ExecutionBackend | str | None = None
+    ) -> RowstoreAdapter:
         # The paper gave DBMS-X a proportionally larger budget than Vertica
         # (10 GB for a 20 GB dataset vs 50 GB for 151 GB): row-store
         # structures are less byte-efficient, so the same workload needs a
         # bigger fraction of the data size.
+        model = RowstoreCostModel(self.schema)
         return RowstoreAdapter(
-            RowstoreCostModel(self.schema),
+            model,
             default_budget_bytes(
                 self.schema, min(1.0, self.scale.budget_fraction * 1.6)
             ),
+            costing=self._costing(model, backend),
         )
+
+    @staticmethod
+    def _costing(model, backend) -> CostEvaluationService | None:
+        """A cost service with neighborhood fan-out over ``backend``
+        (``None`` keeps the adapter's default serial service)."""
+        if backend is None:
+            return None
+        return CostEvaluationService(model, backend=backend)
 
     def sampler(self, distance: WorkloadDistance | None = None) -> NeighborhoodSampler:
         return NeighborhoodSampler(
             distance or self.distance, self.schema, seed=self.scale.seed
         )
+
+
+def _engine_stack(
+    context: ExperimentContext,
+    engine: str,
+    backend: ExecutionBackend | str | None = None,
+):
+    """(adapter, nominal designer) for one engine name."""
+    if engine == "columnar":
+        adapter = context.columnar_adapter(backend)
+        return adapter, ColumnarNominalDesigner(adapter)
+    if engine == "rowstore":
+        adapter = context.rowstore_adapter(backend)
+        return adapter, RowstoreNominalDesigner(adapter)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _build_designers(
+    context: ExperimentContext,
+    adapter: DesignAdapter,
+    nominal,
+    gamma: float,
+    which: list[str] | None = None,
+    distance: WorkloadDistance | None = None,
+) -> tuple[dict, list[NeighborhoodSampler]]:
+    """The Section 6.1 designer zoo, built through the designer registry."""
+    return registry.build_all(
+        adapter,
+        nominal,
+        gamma,
+        make_sampler=lambda: context.sampler(distance),
+        which=which,
+        n_samples=context.scale.n_samples,
+        max_iterations=context.scale.iterations,
+    )
 
 
 def build_designers(
@@ -186,48 +242,15 @@ def build_designers(
     which: list[str] | None = None,
     distance: WorkloadDistance | None = None,
 ) -> tuple[dict, list[NeighborhoodSampler]]:
-    """The Section 6.1 designer zoo wired to one engine adapter.
-
-    Returns the designers plus their samplers (so the replay hook can keep
-    the perturbation pools restricted to past queries).
-    """
-    which = which or DESIGNER_ORDER
-    scale = context.scale
-    samplers: list[NeighborhoodSampler] = []
-    designers: dict = {}
-    for name in which:
-        if name == "NoDesign":
-            designers[name] = NoDesign(adapter)
-        elif name == "ExistingDesigner":
-            designers[name] = nominal
-        elif name == "FutureKnowingDesigner":
-            designers[name] = FutureKnowingDesigner(nominal)
-        elif name == "MajorityVoteDesigner":
-            sampler = context.sampler(distance)
-            samplers.append(sampler)
-            designers[name] = MajorityVoteDesigner(
-                nominal, adapter, sampler, gamma, n_samples=scale.n_samples
-            )
-        elif name == "OptimalLocalSearchDesigner":
-            sampler = context.sampler(distance)
-            samplers.append(sampler)
-            designers[name] = OptimalLocalSearchDesigner(
-                nominal, adapter, sampler, gamma, n_samples=scale.n_samples
-            )
-        elif name == "CliffGuard":
-            sampler = context.sampler(distance)
-            samplers.append(sampler)
-            designers[name] = CliffGuard(
-                nominal,
-                adapter,
-                sampler,
-                gamma,
-                n_samples=scale.n_samples,
-                max_iterations=scale.iterations,
-            )
-        else:
-            raise ValueError(f"unknown designer {name!r}")
-    return designers, samplers
+    """Deprecated: use :mod:`repro.designers.registry` (or the
+    :class:`repro.api.RobustDesignSession` facade)."""
+    warnings.warn(
+        "build_designers is deprecated; use repro.designers.registry.build_all "
+        "or the repro.api facade",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_designers(context, adapter, nominal, gamma, which, distance)
 
 
 def _past_pool_hook(trace: list[WorkloadQuery], samplers: list[NeighborhoodSampler]):
@@ -356,30 +379,66 @@ def run_designer_comparison(
     engine: str = "columnar",
     which: list[str] | None = None,
     gamma: float | None = None,
+    backend: ExecutionBackend | str | None = None,
 ) -> ReplayResult:
-    """The Figure 7 / 10 / 15 experiment for one workload and engine."""
-    if engine == "columnar":
-        adapter = context.columnar_adapter()
-        nominal = ColumnarNominalDesigner(adapter)
-    elif engine == "rowstore":
-        adapter = context.rowstore_adapter()
-        nominal = RowstoreNominalDesigner(adapter)
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
-    windows = context.trace_windows(workload)
+    """The Figure 7 / 10 / 15 experiment for one workload and engine.
+
+    With an execution ``backend``, every designer replays as an
+    independent task (its own context, adapter, and seeded sampler), so
+    the comparison fans out across workers; results are bit-identical at
+    any worker count because each task is deterministic given the scale's
+    seed.  Without a backend the designers share one adapter (and its
+    warm cost cache) exactly as before.
+    """
     if gamma is None:
         gamma = context.default_gamma(workload)
-    designers, samplers = build_designers(context, adapter, nominal, gamma, which)
-    return replay(
-        windows,
+    executor = resolve_backend(backend)
+    if executor is None:
+        adapter, nominal = _engine_stack(context, engine)
+        windows = context.trace_windows(workload)
+        designers, samplers = _build_designers(context, adapter, nominal, gamma, which)
+        return replay(
+            windows,
+            designers,
+            adapter,
+            candidate_source=nominal,
+            workload_name=workload,
+            max_transitions=context.scale.max_transitions,
+            skip_transitions=context.scale.skip_transitions,
+            before_transition=_past_pool_hook(context.trace(workload), samplers),
+        )
+    names = which if which is not None else registry.names()
+    tasks = [(context.scale, workload, engine, name, gamma) for name in names]
+    result = ReplayResult(workload_name=workload)
+    for name, run, counts in executor.map(_designer_comparison_task, tasks):
+        result.runs[name] = run
+        if not result.evaluated_query_counts:
+            result.evaluated_query_counts = counts
+    return result
+
+
+def _designer_comparison_task(task) -> tuple[str, DesignerRun, list[int]]:
+    """One designer's full replay (module-level: process-backend task).
+
+    Rebuilds the experiment context from the scale — deterministic given
+    the scale's seed, so the replay is bit-identical to the same designer's
+    run in the serial loop.
+    """
+    scale, workload, engine, name, gamma = task
+    context = ExperimentContext(scale)
+    adapter, nominal = _engine_stack(context, engine)
+    designers, samplers = _build_designers(context, adapter, nominal, gamma, which=[name])
+    outcome = replay(
+        context.trace_windows(workload),
         designers,
         adapter,
         candidate_source=nominal,
         workload_name=workload,
-        max_transitions=context.scale.max_transitions,
-        skip_transitions=context.scale.skip_transitions,
+        max_transitions=scale.max_transitions,
+        skip_transitions=scale.skip_transitions,
         before_transition=_past_pool_hook(context.trace(workload), samplers),
     )
+    return name, outcome.runs[name], outcome.evaluated_query_counts
 
 
 # -- F8 / F9: the Γ sweep ---------------------------------------------------------------
@@ -389,32 +448,60 @@ def run_gamma_sweep(
     context: ExperimentContext,
     workload: str,
     gammas: list[float] | None = None,
+    backend: ExecutionBackend | str | None = None,
 ) -> dict[float, tuple[float, float]]:
-    """CliffGuard's (avg, max) latency per Γ; Γ = 0 is the nominal case."""
+    """CliffGuard's (avg, max) latency per Γ; Γ = 0 is the nominal case.
+
+    With an execution ``backend``, every Γ replays as an independent task
+    (its own context and seeded sampler) — the per-Γ runs were already
+    independent in the serial loop, so fanning them out is value-preserving
+    at any worker count.
+    """
     base_gamma = context.default_gamma(workload)
     if gammas is None:
         gammas = [0.0, 0.25 * base_gamma, base_gamma, 2 * base_gamma, 6 * base_gamma]
-    adapter = context.columnar_adapter()
-    nominal = ColumnarNominalDesigner(adapter)
-    windows = context.trace_windows(workload)
-    results: dict[float, tuple[float, float]] = {}
-    for gamma in gammas:
-        designers, samplers = build_designers(
-            context, adapter, nominal, gamma, which=["CliffGuard"]
-        )
-        outcome = replay(
-            windows,
-            designers,
-            adapter,
-            candidate_source=nominal,
-            workload_name=workload,
-            max_transitions=context.scale.max_transitions,
+    executor = resolve_backend(backend)
+    if executor is None:
+        adapter, nominal = _engine_stack(context, "columnar")
+        return {
+            gamma: _cliffguard_gamma_run(context, adapter, nominal, workload, gamma)
+            for gamma in gammas
+        }
+    tasks = [(context.scale, workload, gamma) for gamma in gammas]
+    return dict(executor.map(_gamma_sweep_task, tasks))
+
+
+def _cliffguard_gamma_run(
+    context: ExperimentContext,
+    adapter: DesignAdapter,
+    nominal,
+    workload: str,
+    gamma: float,
+) -> tuple[float, float]:
+    """One CliffGuard replay at one Γ (shared by serial loop and tasks)."""
+    designers, samplers = _build_designers(
+        context, adapter, nominal, gamma, which=["CliffGuard"]
+    )
+    outcome = replay(
+        context.trace_windows(workload),
+        designers,
+        adapter,
+        candidate_source=nominal,
+        workload_name=workload,
+        max_transitions=context.scale.max_transitions,
         skip_transitions=context.scale.skip_transitions,
-            before_transition=_past_pool_hook(context.trace(workload), samplers),
-        )
-        run = outcome.run("CliffGuard")
-        results[gamma] = (run.mean_average_ms, run.mean_max_ms)
-    return results
+        before_transition=_past_pool_hook(context.trace(workload), samplers),
+    )
+    run = outcome.run("CliffGuard")
+    return (run.mean_average_ms, run.mean_max_ms)
+
+
+def _gamma_sweep_task(task) -> tuple[float, tuple[float, float]]:
+    """One Γ of the sweep (module-level: process-backend task)."""
+    scale, workload, gamma = task
+    context = ExperimentContext(scale)
+    adapter, nominal = _engine_stack(context, "columnar")
+    return gamma, _cliffguard_gamma_run(context, adapter, nominal, workload, gamma)
 
 
 # -- F11: distance ablation -------------------------------------------------------------
@@ -566,7 +653,7 @@ def run_offline_time(
     nominal = ColumnarNominalDesigner(adapter)
     windows = context.trace_windows(workload)
     gamma = context.default_gamma(workload)
-    designers, samplers = build_designers(context, adapter, nominal, gamma, which)
+    designers, samplers = _build_designers(context, adapter, nominal, gamma, which)
     outcome = replay(
         windows,
         designers,
@@ -612,24 +699,20 @@ def run_costing_stats(
     context: ExperimentContext,
     workload: str,
     engine: str = "columnar",
+    backend: ExecutionBackend | str | None = None,
 ) -> CostingStatsOutcome:
     """Replay CliffGuard once and capture the cost-service counters.
 
     Backs ``python -m repro stats``: how many what-if calls the run
     requested, how many the memo cache absorbed, the dedup ratio of the
     batched neighborhood evaluation, and the wall-time spent costing.
+    ``backend`` selects the execution backend that fills cost-cache misses
+    during neighborhood evaluation (counters stay bit-identical to serial).
     """
-    if engine == "columnar":
-        adapter = context.columnar_adapter()
-        nominal = ColumnarNominalDesigner(adapter)
-    elif engine == "rowstore":
-        adapter = context.rowstore_adapter()
-        nominal = RowstoreNominalDesigner(adapter)
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+    adapter, nominal = _engine_stack(context, engine, backend)
     windows = context.trace_windows(workload)
     gamma = context.default_gamma(workload)
-    designers, samplers = build_designers(
+    designers, samplers = _build_designers(
         context, adapter, nominal, gamma, which=["CliffGuard"]
     )
     outcome = replay(
@@ -649,6 +732,76 @@ def run_costing_stats(
         service_stats=adapter.costing.stats.snapshot(),
         cliffguard_report=designers["CliffGuard"].last_report,
     )
+
+
+# -- re-design scheduling (the operational-cost extension) --------------------------------
+
+
+def run_schedule_comparison(
+    context: ExperimentContext,
+    workload: str = "R1",
+    engine: str = "columnar",
+    everies: tuple[int, ...] = (1, 2),
+    designers: tuple[str, ...] = ("ExistingDesigner", "CliffGuard"),
+    gamma: float | None = None,
+    iterations: int | None = None,
+    backend: ExecutionBackend | str | None = None,
+) -> dict[tuple[str, int], ScheduleOutcome]:
+    """Scheduled replay for every (designer, re-design period) pair.
+
+    The executable form of the paper's claim (d): how much latency each
+    designer loses when its designs must serve longer between re-designs.
+    Each (designer, period) pair is an independent deterministic task, so
+    the grid fans out over the execution backend; ``backend=None`` runs
+    the same tasks inline.
+    """
+    if gamma is None:
+        gamma = context.default_gamma(workload)
+    tasks = [
+        (context.scale, workload, engine, name, every, gamma, iterations)
+        for name in designers
+        for every in everies
+    ]
+    executor = resolve_backend(backend)
+    if executor is None:
+        outcomes = [_schedule_task(task) for task in tasks]
+    else:
+        outcomes = executor.map(_schedule_task, tasks)
+    return {(name, every): outcome for name, every, outcome in outcomes}
+
+
+def _schedule_task(task) -> tuple[str, int, ScheduleOutcome]:
+    """One (designer, period) scheduled replay (process-backend task)."""
+    scale, workload, engine, name, every, gamma, iterations = task
+    context = ExperimentContext(scale)
+    adapter, nominal = _engine_stack(context, engine)
+    windows = context.trace_windows(workload)
+    trace = context.trace(workload)
+    designer, sampler = registry.get(
+        name,
+        adapter,
+        nominal,
+        gamma,
+        make_sampler=context.sampler,
+        n_samples=scale.n_samples,
+        max_iterations=iterations if iterations is not None else scale.iterations,
+    )
+    samplers = [sampler] if sampler is not None else []
+
+    def refresh(i: int) -> None:
+        start, _ = windows[i].span_days
+        past = [q for q in trace if q.timestamp < start]
+        for s in samplers:
+            s.set_pool(past)
+
+    outcome = scheduled_replay(
+        windows,
+        designer,
+        adapter,
+        PeriodicPolicy(every=every),
+        before_design=refresh,
+    )
+    return name, every, outcome
 
 
 # -- F16: δ_latency correlation ------------------------------------------------------------

@@ -1,0 +1,43 @@
+"""Parallel execution backends for the embarrassingly parallel loops.
+
+CliffGuard's inner loop costs every sampled Γ-neighbor independently
+(paper Algorithm 2), and the harness repeats that loop across Γ values,
+designers, and window transitions.  This package provides one
+:class:`~repro.parallel.backends.ExecutionBackend` abstraction — serial,
+thread-pool, and process-pool implementations selected by a single
+``backend``/``jobs`` knob — plus deterministic work partitioning so that
+every backend produces bit-identical results at any worker count.
+
+The three hot fan-out sites routed through it:
+
+* :meth:`repro.costing.service.CostEvaluationService.evaluate_neighborhood`
+  (per-neighbor what-if costing),
+* :func:`repro.harness.experiments.run_gamma_sweep` (per-Γ replays),
+* :func:`repro.harness.experiments.run_designer_comparison` and
+  :func:`repro.harness.experiments.run_schedule_comparison`
+  (per-designer replays).
+"""
+
+from repro.parallel.backends import (
+    BackendStats,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_from_env,
+    resolve_backend,
+)
+from repro.parallel.partition import chunk_count, contiguous_chunks, derive_seed
+
+__all__ = [
+    "BackendStats",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "backend_from_env",
+    "chunk_count",
+    "contiguous_chunks",
+    "derive_seed",
+    "resolve_backend",
+]

@@ -1,0 +1,262 @@
+"""Execution backends: serial, thread pool, and process pool.
+
+One abstraction — :class:`ExecutionBackend` — with three implementations
+selected by a single ``backend``/``jobs`` knob (:func:`resolve_backend`).
+All backends share the same contract:
+
+* :meth:`ExecutionBackend.map` preserves task order: ``results[i]`` is
+  ``fn(tasks[i])`` no matter which worker ran it or when it finished, so
+  callers reassemble results deterministically.
+* **Graceful degradation** — a worker crash, a poisoned task, or a
+  per-task timeout never loses the run: the failed task is logged and
+  retried once *serially in the parent*; only a task that also fails in
+  the parent propagates its exception.
+* **Exact accounting** — workers never mutate shared state.  They return
+  plain values; the caller merges them (cache deltas, counters) in the
+  parent, which is what keeps instrumentation bit-identical to serial.
+
+For :class:`ProcessBackend`, ``fn`` must be a module-level callable and
+every task payload must be picklable.
+"""
+
+from __future__ import annotations
+
+import abc
+import logging
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+logger = logging.getLogger("repro.parallel")
+
+#: Environment knobs honored by :func:`backend_from_env` — the hook the CI
+#: matrix uses to run the whole tier-1 suite on the process backend.
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_JOBS = "REPRO_JOBS"
+
+_UNSET = object()
+
+
+@dataclass
+class BackendStats:
+    """Cumulative accounting for one backend instance."""
+
+    #: ``map`` invocations.
+    map_calls: int = 0
+    #: Tasks submitted across all ``map`` calls.
+    tasks: int = 0
+    #: Tasks that raised (or whose worker died) and were retried serially.
+    retried: int = 0
+    #: Tasks that exceeded the per-task timeout.
+    timeouts: int = 0
+    #: Wall-clock seconds spent inside ``map`` (includes serial retries).
+    wall_seconds: float = 0.0
+
+
+class ExecutionBackend(abc.ABC):
+    """Ordered fan-out of ``fn`` over a task list."""
+
+    #: Short name used in reports and the ``backend`` knob.
+    name: str = "backend"
+
+    def __init__(self, jobs: int = 1, task_timeout: float | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive when set")
+        self.jobs = jobs
+        self.task_timeout = task_timeout
+        self.stats = BackendStats()
+
+    def map(self, fn, tasks, timeout: float | None = None) -> list:
+        """``[fn(t) for t in tasks]``, scheduled by the backend.
+
+        ``timeout`` (seconds, per task) overrides the backend's default
+        ``task_timeout`` for this call.
+        """
+        tasks = list(tasks)
+        self.stats.map_calls += 1
+        self.stats.tasks += len(tasks)
+        started = time.perf_counter()
+        try:
+            if not tasks:
+                return []
+            return self._run(fn, tasks, timeout if timeout is not None else self.task_timeout)
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - started
+
+    @abc.abstractmethod
+    def _run(self, fn, tasks: list, timeout: float | None) -> list:
+        """Backend-specific scheduling of a non-empty task list."""
+
+    def shutdown(self) -> None:
+        """Release pooled workers (idempotent; the backend stays usable —
+        pools are recreated lazily on the next ``map``)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} jobs={self.jobs}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline in the parent (the reference semantics)."""
+
+    name = "serial"
+
+    def __init__(self, jobs: int = 1, task_timeout: float | None = None):
+        super().__init__(jobs=1, task_timeout=task_timeout)
+
+    def _run(self, fn, tasks: list, timeout: float | None) -> list:
+        return [fn(task) for task in tasks]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared submit/collect/retry machinery for the executor backends."""
+
+    def __init__(self, jobs: int | None = None, task_timeout: float | None = None):
+        super().__init__(jobs=jobs or default_jobs(), task_timeout=task_timeout)
+        self._pool = None
+
+    @abc.abstractmethod
+    def _make_pool(self):
+        """Create the concurrent.futures executor."""
+
+    def _executor(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _run(self, fn, tasks: list, timeout: float | None) -> list:
+        results: list = [_UNSET] * len(tasks)
+        failed: list[tuple[int, BaseException]] = []
+        try:
+            futures = [self._executor().submit(fn, task) for task in tasks]
+        except Exception as exc:  # pool is unusable — degrade fully serial
+            logger.warning("%s backend could not submit (%r); running serially", self.name, exc)
+            self.shutdown()
+            failed = [(i, exc) for i in range(len(tasks))]
+            futures = []
+        broken = False
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result(timeout=timeout)
+            except FutureTimeoutError as exc:
+                # The worker may be wedged; tear the pool down so the
+                # remaining futures fail fast instead of waiting in line.
+                self.stats.timeouts += 1
+                failed.append((i, exc))
+                if not broken:
+                    broken = True
+                    self.shutdown()
+            except BrokenExecutor as exc:
+                failed.append((i, exc))
+                if not broken:
+                    broken = True
+                    self.shutdown()
+            except Exception as exc:
+                failed.append((i, exc))
+        for i, exc in failed:
+            logger.warning(
+                "%s backend task %d/%d failed (%r); retrying serially in parent",
+                self.name,
+                i + 1,
+                len(tasks),
+                exc,
+            )
+            results[i] = fn(tasks[i])
+            self.stats.retried += 1
+        return results
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool backend.
+
+    Shares memory with the parent, so tasks need not be picklable — but
+    pure-Python cost models are GIL-bound here; use the process backend
+    for CPU-bound fan-out.
+    """
+
+    name = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool backend (one Python per worker, no GIL contention).
+
+    Tasks and ``fn`` cross a pickle boundary; workers return plain values
+    that the caller merges in the parent.
+    """
+
+    name = "process"
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is not given: one per available core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def backend_from_env() -> ExecutionBackend | None:
+    """The backend selected by ``REPRO_BACKEND`` / ``REPRO_JOBS``.
+
+    Returns ``None`` when the environment selects nothing — callers fall
+    back to their inline serial path.  This is how the CI matrix runs the
+    tier-1 suite on the process backend without touching any call site.
+    """
+    name = os.environ.get(ENV_BACKEND, "").strip().lower()
+    if not name:
+        return None
+    jobs_text = os.environ.get(ENV_JOBS, "").strip()
+    jobs = int(jobs_text) if jobs_text else None
+    return resolve_backend(name, jobs=jobs)
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None",
+    jobs: int | None = None,
+    task_timeout: float | None = None,
+) -> ExecutionBackend | None:
+    """The single ``backend``/``jobs`` knob.
+
+    ``backend`` may be an :class:`ExecutionBackend` instance (returned
+    as-is), one of ``"serial"``/``"thread"``/``"process"``, ``"auto"``
+    (defer to :func:`backend_from_env`), or ``None`` (no backend — the
+    caller's inline serial path).
+    """
+    if backend is None:
+        return None
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if not isinstance(backend, str):
+        raise ValueError(f"backend must be a name or ExecutionBackend, got {backend!r}")
+    name = backend.strip().lower()
+    if name == "auto":
+        return backend_from_env()
+    if name == "serial":
+        return SerialBackend(task_timeout=task_timeout)
+    if name == "thread":
+        return ThreadBackend(jobs=jobs, task_timeout=task_timeout)
+    if name == "process":
+        return ProcessBackend(jobs=jobs, task_timeout=task_timeout)
+    raise ValueError(
+        f"unknown backend {backend!r} (expected serial, thread, process, or auto)"
+    )

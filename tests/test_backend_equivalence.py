@@ -1,0 +1,178 @@
+"""Bit-identity of the execution backends (the tentpole guarantee).
+
+The same run must produce byte-for-byte identical designs, cost
+trajectories, and instrumentation counters on the serial, thread, and
+process backends at any worker count.  Wall-clock fields
+(``design_seconds``, ``eval_seconds``) are the only permitted difference.
+"""
+
+import pytest
+
+from repro.designers import registry
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.harness.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    run_designer_comparison,
+    run_gamma_sweep,
+)
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+
+MICRO = ExperimentScale(
+    days=84,
+    window_days=28,
+    queries_per_day=6,
+    n_samples=3,
+    iterations=1,
+    seed=2,
+    legacy_tables=5,
+    max_transitions=1,
+    skip_transitions=1,
+)
+
+WHICH = ["NoDesign", "ExistingDesigner", "CliffGuard"]
+
+
+def _cliffguard_design(backend):
+    """One CliffGuard design call on a fresh stack over ``backend``.
+
+    Everything is rebuilt per call (context, adapter, service, sampler) so
+    each backend starts from a cold cache and the counters are comparable.
+    """
+    context = ExperimentContext(MICRO)
+    adapter = context.columnar_adapter(backend)
+    nominal = ColumnarNominalDesigner(adapter)
+    gamma = context.default_gamma("R1")
+    designer, sampler = registry.get(
+        "CliffGuard",
+        adapter,
+        nominal,
+        gamma,
+        make_sampler=context.sampler,
+        n_samples=MICRO.n_samples,
+        max_iterations=MICRO.iterations,
+    )
+    windows = context.trace_windows("R1")
+    window = windows[-2]
+    sampler.set_pool(
+        [q for q in context.trace("R1") if q.timestamp < window.span_days[0]]
+    )
+    design = designer.design(window)
+    report = designer.last_report
+    stats = adapter.costing.stats
+    return {
+        "fingerprint": sorted(str(s) for s in design),
+        "price_bytes": adapter.design_price(design),
+        "worst_case_history": report.worst_case_history,
+        "alpha_history": report.alpha_history,
+        "report_counters": (
+            report.iterations,
+            report.accepted_moves,
+            report.designer_calls,
+            report.query_cost_calls,
+            report.raw_cost_model_calls,
+            report.cache_hits,
+        ),
+        "service_counters": (
+            stats.query_requests,
+            stats.query_hits,
+            stats.raw_model_calls,
+            stats.workload_requests,
+            stats.workload_hits,
+            stats.dedup_saved,
+            stats.evictions,
+        ),
+        "backend_name": report.backend,
+    }
+
+
+class TestNeighborhoodEvaluation:
+    def test_backends_bit_identical_at_any_worker_count(self):
+        reference = _cliffguard_design(SerialBackend())
+        assert reference["backend_name"] == "serial"
+        variants = [
+            ThreadBackend(jobs=2),
+            ProcessBackend(jobs=1),
+            ProcessBackend(jobs=2),
+            ProcessBackend(jobs=4),
+        ]
+        for backend in variants:
+            with backend:
+                result = _cliffguard_design(backend)
+            assert result["fingerprint"] == reference["fingerprint"], backend
+            assert result["price_bytes"] == reference["price_bytes"], backend
+            assert (
+                result["worst_case_history"] == reference["worst_case_history"]
+            ), backend
+            assert result["alpha_history"] == reference["alpha_history"], backend
+            assert (
+                result["report_counters"] == reference["report_counters"]
+            ), backend
+            assert (
+                result["service_counters"] == reference["service_counters"]
+            ), backend
+            assert result["backend_name"] == backend.name
+
+    def test_backend_path_matches_legacy_inline_path(self):
+        # backend=None takes the pre-backend inline loop; values must agree.
+        legacy = _cliffguard_design(None)
+        serial = _cliffguard_design(SerialBackend())
+        assert legacy["fingerprint"] == serial["fingerprint"]
+        assert legacy["worst_case_history"] == serial["worst_case_history"]
+        assert legacy["report_counters"] == serial["report_counters"]
+        assert legacy["service_counters"] == serial["service_counters"]
+        assert legacy["backend_name"] == "serial"
+
+
+class TestExperimentFanOut:
+    def test_gamma_sweep_identical_across_backends(self):
+        context = ExperimentContext(MICRO)
+        base = context.default_gamma("R1")
+        gammas = [0.0, base]
+        legacy = run_gamma_sweep(context, "R1", gammas=gammas)
+        serial = run_gamma_sweep(context, "R1", gammas=gammas, backend=SerialBackend())
+        with ProcessBackend(jobs=2) as pool:
+            process = run_gamma_sweep(context, "R1", gammas=gammas, backend=pool)
+        assert serial == process
+        # The legacy inline loop shares one adapter across Γs; the cache
+        # returns exact floats, so even it agrees bit-for-bit.
+        assert legacy == serial
+
+    def test_designer_comparison_identical_across_backends(self):
+        context = ExperimentContext(MICRO)
+        serial = run_designer_comparison(
+            context, "R1", which=WHICH, backend=SerialBackend()
+        )
+        with ProcessBackend(jobs=2) as pool:
+            process = run_designer_comparison(context, "R1", which=WHICH, backend=pool)
+        assert set(serial.runs) == set(process.runs) == set(WHICH)
+        assert serial.evaluated_query_counts == process.evaluated_query_counts
+        for name in WHICH:
+            a, b = serial.run(name), process.run(name)
+            assert len(a.windows) == len(b.windows)
+            for wa, wb in zip(a.windows, b.windows):
+                assert wa.window_index == wb.window_index
+                assert wa.average_ms == wb.average_ms
+                assert wa.max_ms == wb.max_ms
+                assert wa.design_price_bytes == wb.design_price_bytes
+                assert wa.structure_count == wb.structure_count
+                assert wa.query_cost_calls == wb.query_cost_calls
+                assert wa.raw_cost_model_calls == wb.raw_cost_model_calls
+
+    def test_designer_comparison_task_path_matches_legacy_values(self):
+        # The legacy path shares one adapter across designers (warm cache),
+        # the task path isolates each designer — *values* must still agree;
+        # only cache-hit instrumentation may differ.
+        context = ExperimentContext(MICRO)
+        legacy = run_designer_comparison(context, "R1", which=WHICH)
+        serial = run_designer_comparison(
+            context, "R1", which=WHICH, backend=SerialBackend()
+        )
+        for name in WHICH:
+            a, b = legacy.run(name), serial.run(name)
+            assert a.mean_average_ms == pytest.approx(b.mean_average_ms)
+            assert a.mean_max_ms == pytest.approx(b.mean_max_ms)
+            for wa, wb in zip(a.windows, b.windows):
+                assert wa.average_ms == wb.average_ms
+                assert wa.max_ms == wb.max_ms
+                assert wa.design_price_bytes == wb.design_price_bytes

@@ -37,6 +37,14 @@ class TestParameters:
             CliffGuard(nominal, adapter, sampler, gamma=0.1, n_samples=0)
         with pytest.raises(ValueError):
             CliffGuard(nominal, adapter, sampler, gamma=0.1, min_worst=0)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, initial_alpha=0.0)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, initial_alpha=-2.0)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, max_iterations=-1)
+        with pytest.raises(ValueError):
+            CliffGuard(nominal, adapter, sampler, gamma=0.1, patience=0)
 
     def test_worst_neighbors_clamped_to_neighborhood(self, parts):
         """min_worst beyond the sample count selects the whole neighborhood

@@ -1,0 +1,179 @@
+"""Tests for the execution backends (repro.parallel).
+
+The fault-injection workers are pid-gated: they fail only inside a pool
+worker process, so the serial retry *in the parent* succeeds — exactly the
+degradation path the backends promise.
+"""
+
+import os
+import time
+from collections import Counter
+
+import pytest
+
+from repro.parallel import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    backend_from_env,
+    chunk_count,
+    contiguous_chunks,
+    derive_seed,
+    resolve_backend,
+)
+from repro.parallel.backends import ENV_BACKEND, ENV_JOBS
+
+_PARENT_PID = os.getpid()
+
+
+def _double(task):
+    return task * 2
+
+
+def _fail_in_worker(task):
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("injected worker failure")
+    return task * 2
+
+
+def _exit_in_worker(task):
+    if os.getpid() != _PARENT_PID:
+        os._exit(13)
+    return task * 2
+
+
+def _slow_in_worker(task):
+    if os.getpid() != _PARENT_PID:
+        time.sleep(2.0)
+    return task * 2
+
+
+_ATTEMPTS = Counter()
+
+
+def _fail_first_attempt(task):
+    _ATTEMPTS[task] += 1
+    if _ATTEMPTS[task] == 1:
+        raise RuntimeError("injected first-attempt failure")
+    return task * 2
+
+
+class TestPartition:
+    def test_chunks_cover_in_order(self):
+        items = list(range(17))
+        chunks = contiguous_chunks(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_chunks_deterministic(self):
+        assert contiguous_chunks(list(range(10)), 3) == contiguous_chunks(
+            list(range(10)), 3
+        )
+
+    def test_more_chunks_than_items(self):
+        chunks = contiguous_chunks([1, 2], 8)
+        assert [x for chunk in chunks for x in chunk] == [1, 2]
+        assert all(chunk for chunk in chunks)
+
+    def test_chunk_count_bounds(self):
+        assert chunk_count(0, 4) == 0
+        assert 1 <= chunk_count(3, 4) <= 3
+        assert chunk_count(1000, 4) <= 1000
+        assert chunk_count(1000, 1) == 1
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(42, 1, 2) == derive_seed(42, 1, 2)
+        assert derive_seed(42, 1, 2) != derive_seed(42, 2, 1)
+        assert derive_seed(42, 0) != derive_seed(43, 0)
+        assert 0 <= derive_seed(7, 5) < 2**63
+
+
+class TestMapContract:
+    @pytest.mark.parametrize(
+        "make",
+        [SerialBackend, lambda: ThreadBackend(jobs=3), lambda: ProcessBackend(jobs=2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_map_preserves_order(self, make):
+        with make() as backend:
+            assert backend.map(_double, list(range(20))) == [
+                i * 2 for i in range(20)
+            ]
+            assert backend.map(_double, []) == []
+        assert backend.stats.map_calls == 2
+        assert backend.stats.tasks == 20
+        assert backend.stats.retried == 0
+
+    def test_serial_forces_single_job(self):
+        assert SerialBackend(jobs=8).jobs == 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(jobs=-1)
+        with pytest.raises(ValueError):
+            SerialBackend(task_timeout=-1.0)
+
+
+class TestFaultTolerance:
+    def test_process_task_failure_retried_serially(self):
+        with ProcessBackend(jobs=2) as backend:
+            assert backend.map(_fail_in_worker, [1, 2, 3]) == [2, 4, 6]
+        assert backend.stats.retried == 3
+
+    def test_process_worker_crash_recovered(self):
+        # os._exit kills the worker: the pool breaks, every in-flight task
+        # fails with BrokenExecutor, and all of them are retried serially.
+        with ProcessBackend(jobs=2) as backend:
+            assert backend.map(_exit_in_worker, [1, 2, 3, 4]) == [2, 4, 6, 8]
+        assert backend.stats.retried == 4
+
+    def test_process_timeout_falls_back_to_serial(self):
+        with ProcessBackend(jobs=2, task_timeout=0.2) as backend:
+            assert backend.map(_slow_in_worker, [5, 6]) == [10, 12]
+        assert backend.stats.timeouts >= 1
+        assert backend.stats.retried == 2
+
+    def test_thread_task_failure_retried_serially(self):
+        _ATTEMPTS.clear()
+        with ThreadBackend(jobs=2) as backend:
+            assert backend.map(_fail_first_attempt, [10, 11]) == [20, 22]
+        assert backend.stats.retried == 2
+
+    def test_pool_usable_after_shutdown(self):
+        backend = ThreadBackend(jobs=2)
+        assert backend.map(_double, [1]) == [2]
+        backend.shutdown()
+        assert backend.map(_double, [2]) == [4]
+        backend.shutdown()
+
+
+class TestResolution:
+    def test_resolve_names(self):
+        assert resolve_backend(None) is None
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("thread", jobs=3), ThreadBackend)
+        assert isinstance(resolve_backend("process", jobs=2), ProcessBackend)
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+        with pytest.raises(ValueError):
+            resolve_backend(42)
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert backend_from_env() is None
+        assert resolve_backend("auto") is None
+
+        monkeypatch.setenv(ENV_BACKEND, "process")
+        monkeypatch.setenv(ENV_JOBS, "2")
+        backend = backend_from_env()
+        assert isinstance(backend, ProcessBackend)
+        assert backend.jobs == 2
+
+        via_auto = resolve_backend("auto")
+        assert isinstance(via_auto, ProcessBackend)
+        assert via_auto.jobs == 2
