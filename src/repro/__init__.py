@@ -62,6 +62,14 @@ from repro.engine import (
     SortColumn,
 )
 from repro.harness import replay
+from repro.obs import (
+    MetricsRegistry,
+    RunTracer,
+    get_metrics,
+    set_tracer,
+    trace_to,
+    tracer,
+)
 from repro.rowstore import (
     Index,
     MaterializedView,
@@ -95,7 +103,7 @@ from repro.workload import (
 # engine layers above — so it must come last.
 from repro.api import DesignOutcome, RobustDesignSession, RunConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CliffGuard",
@@ -118,6 +126,7 @@ __all__ = [
     "Index",
     "MajorityVoteDesigner",
     "MaterializedView",
+    "MetricsRegistry",
     "NeighborhoodSampler",
     "NoDesign",
     "OptimalLocalSearchDesigner",
@@ -129,6 +138,7 @@ __all__ = [
     "RowstoreDesign",
     "RowstoreExecutor",
     "RowstoreNominalDesigner",
+    "RunTracer",
     "SampleDesign",
     "SamplesAdapter",
     "SamplesCostModel",
@@ -146,10 +156,14 @@ __all__ = [
     "default_budget_bytes",
     "delta_euclidean",
     "gamma_from_history",
+    "get_metrics",
     "move_workload",
     "r1_profile",
     "replay",
     "s1_profile",
     "s2_profile",
+    "set_tracer",
     "split_windows",
+    "trace_to",
+    "tracer",
 ]

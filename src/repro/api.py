@@ -22,11 +22,14 @@ fans the Γ-neighborhood costing out across workers, while ``sweep()`` and
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, fields, replace
 
 from repro.core.cliffguard import CliffGuardReport
 from repro.designers import registry
+from repro.obs import MetricsRegistry, RunTracer, get_metrics, set_tracer
 from repro.harness.experiments import (
     ExperimentContext,
     ExperimentScale,
@@ -88,6 +91,14 @@ class RunConfig:
     jobs: int | None = None
     #: Per-task timeout (seconds) before a task is retried serially.
     task_timeout: float | None = None
+    #: JSONL trace file (appended).  When set, the session activates a
+    #: :class:`repro.obs.RunTracer` around every entry point (``design``,
+    #: ``replay``, ``sweep``, ``schedule``) — see docs/observability.md
+    #: for the event schema.  ``None`` disables tracing (zero overhead).
+    trace_path: str | os.PathLike | None = None
+    #: Metrics registry the session publishes into (``None`` = the
+    #: process-wide default, :func:`repro.obs.get_metrics`).
+    metrics: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -121,6 +132,16 @@ class RunConfig:
             raise ValueError("jobs must be at least 1 when set")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive when set")
+        if self.trace_path is not None and not isinstance(
+            self.trace_path, (str, os.PathLike)
+        ):
+            raise ValueError(
+                f"trace_path must be a path, got {self.trace_path!r}"
+            )
+        if self.metrics is not None and not isinstance(self.metrics, MetricsRegistry):
+            raise ValueError(
+                f"metrics must be a repro.obs.MetricsRegistry, got {self.metrics!r}"
+            )
 
     def with_overrides(self, **overrides) -> "RunConfig":
         """A copy with some knobs replaced (re-validated)."""
@@ -140,6 +161,17 @@ class RunConfig:
             skip_transitions=self.skip_transitions,
             budget_fraction=self.budget_fraction,
         )
+
+
+@contextmanager
+def _activated(tracer: RunTracer):
+    """Install ``tracer`` as the process-active tracer for one block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.flush()
 
 
 @dataclass
@@ -178,6 +210,7 @@ class RobustDesignSession:
         self._backend_resolved = False
         self._adapter = None
         self._nominal = None
+        self._tracer: RunTracer | None = None
 
     # -- lazily built pieces -----------------------------------------------------
 
@@ -223,6 +256,28 @@ class RobustDesignSession:
             return self.config.gamma
         return self.context.default_gamma(self.config.workload)
 
+    # -- observability ---------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this session publishes into."""
+        return self.config.metrics if self.config.metrics is not None else get_metrics()
+
+    def _tracing(self):
+        """Context that activates the session tracer (no-op when
+        ``trace_path`` is unset — disabled tracing costs nothing)."""
+        if self.config.trace_path is None:
+            return nullcontext()
+        if self._tracer is None:
+            self._tracer = RunTracer.open(self.config.trace_path)
+        return _activated(self._tracer)
+
+    def _publish_metrics(self) -> None:
+        """Push the costing service's counters into the registry."""
+        service = getattr(self._adapter, "costing", None) if self._adapter else None
+        if service is not None:
+            service.publish_metrics(self.metrics)
+
     def designer(self, name: str = "CliffGuard", **cfg):
         """Build one registered designer wired to this session's stack."""
         merged = {
@@ -258,8 +313,10 @@ class RobustDesignSession:
             [q for q in self.context.trace(self.config.workload) if q.timestamp < start]
         )
         started = time.perf_counter()
-        design = designer.design(window)
+        with self._tracing():
+            design = designer.design(window)
         wall = time.perf_counter() - started
+        self._publish_metrics()
         return DesignOutcome(
             design=design,
             structures=self.adapter.structures(design),
@@ -270,20 +327,26 @@ class RobustDesignSession:
 
     def replay(self, which: list[str] | None = None) -> ReplayResult:
         """The Figure 7 / 10 / 15 designer comparison (per-designer fan-out)."""
-        return run_designer_comparison(
-            self.context,
-            self.config.workload,
-            engine=self.config.engine,
-            which=which,
-            gamma=self.config.gamma,
-            backend=self.backend,
-        )
+        with self._tracing():
+            result = run_designer_comparison(
+                self.context,
+                self.config.workload,
+                engine=self.config.engine,
+                which=which,
+                gamma=self.config.gamma,
+                backend=self.backend,
+            )
+        self._publish_metrics()
+        return result
 
     def sweep(self, gammas: list[float] | None = None) -> dict[float, tuple[float, float]]:
         """The Figures 8–9 robustness-knob sweep (per-Γ fan-out)."""
-        return run_gamma_sweep(
-            self.context, self.config.workload, gammas=gammas, backend=self.backend
-        )
+        with self._tracing():
+            result = run_gamma_sweep(
+                self.context, self.config.workload, gammas=gammas, backend=self.backend
+            )
+        self._publish_metrics()
+        return result
 
     def schedule(
         self,
@@ -291,22 +354,29 @@ class RobustDesignSession:
         designers: tuple[str, ...] = ("ExistingDesigner", "CliffGuard"),
     ) -> dict[tuple[str, int], ScheduleOutcome]:
         """Re-design-frequency comparison (per-(designer, period) fan-out)."""
-        return run_schedule_comparison(
-            self.context,
-            self.config.workload,
-            engine=self.config.engine,
-            everies=everies,
-            designers=designers,
-            gamma=self.config.gamma,
-            backend=self.backend,
-        )
+        with self._tracing():
+            result = run_schedule_comparison(
+                self.context,
+                self.config.workload,
+                engine=self.config.engine,
+                everies=everies,
+                designers=designers,
+                gamma=self.config.gamma,
+                backend=self.backend,
+            )
+        self._publish_metrics()
+        return result
 
     # -- lifecycle ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release pooled backend workers (the session stays usable)."""
+        """Release pooled backend workers and close the trace file (the
+        session stays usable — both are recreated lazily on next use)."""
         if self._backend is not None:
             self._backend.shutdown()
+        if self._tracer is not None:
+            self._tracer.close()
+            self._tracer = None
 
     def __enter__(self) -> "RobustDesignSession":
         return self

@@ -8,12 +8,15 @@ Commands:
 * ``compare`` — the Figure-7-style designer comparison,
 * ``gamma`` — the Figure-8/9 robustness-knob sweep,
 * ``stats`` — cost-evaluation-service counters for a CliffGuard replay
-  (what-if calls, cache hits, dedup ratio, costing wall-time).
+  (what-if calls, cache hits, dedup ratio, costing wall-time), plus the
+  process-wide metrics registry (:mod:`repro.obs`).
 
 Every command builds a :class:`repro.api.RobustDesignSession` from the
 flags; ``--backend``/``--jobs`` select the execution backend that fans out
-neighborhood costing and experiment grids (see :mod:`repro.parallel`).
-All commands are deterministic given ``--seed`` at any worker count.
+neighborhood costing and experiment grids (see :mod:`repro.parallel`);
+``--trace PATH`` appends a structured JSONL event trace of the run
+(schema in ``docs/observability.md``).  All commands are deterministic
+given ``--seed`` at any worker count.
 """
 
 from __future__ import annotations
@@ -27,8 +30,10 @@ from repro.harness.experiments import run_costing_stats, run_table1
 from repro.harness.reporting import (
     format_costing_stats,
     format_designer_effort,
+    format_metrics,
     format_table,
 )
+from repro.obs import get_metrics, trace_to
 
 WORKLOADS = ("R1", "S1", "S2")
 
@@ -52,6 +57,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs", type=int, default=None, help="worker count for thread/process"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append a structured JSONL event trace to PATH "
+        "(see docs/observability.md for the schema)",
     )
 
 
@@ -193,6 +205,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"backend = {report.backend} "
             f"({report.eval_wall_seconds:.2f}s costing)"
         )
+    print()
+    print(format_metrics(get_metrics(), title="Metrics registry"))
     return 0
 
 
@@ -232,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None):
+        with trace_to(args.trace):
+            return args.handler(args)
     return args.handler(args)
 
 

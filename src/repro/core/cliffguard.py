@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.designers.base import DesignAdapter, Designer
+from repro.obs import tracer
 from repro.workload.sampler import NeighborhoodSampler
 from repro.workload.workload import Workload
 
@@ -151,6 +152,16 @@ class CliffGuard(Designer):
         self.last_report = report
         service = getattr(self.adapter, "costing", None)
         baseline = service.stats.snapshot() if service is not None else None
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "design_start",
+                designer=self.name,
+                gamma=self.gamma,
+                n_samples=self.n_samples,
+                max_iterations=self.max_iterations,
+                queries=len(workload),
+            )
 
         design = self.nominal.design(workload)  # Line 1: initial nominal design
         report.designer_calls += 1
@@ -172,6 +183,14 @@ class CliffGuard(Designer):
         for _ in range(self.max_iterations):
             report.iterations += 1
             report.alpha_history.append(alpha)
+            if t.enabled:
+                t.emit(
+                    "iteration",
+                    designer=self.name,
+                    index=report.iterations,
+                    alpha=alpha,
+                    worst_case=worst_case,
+                )
             worst = self._worst_neighbors(neighborhood, costs)
             moved = move_workload(
                 workload,
@@ -181,6 +200,15 @@ class CliffGuard(Designer):
                 keep_base=self.keep_base_in_move,
                 batch_cost=lambda sqls: self.adapter.query_costs(sqls, design),
             )
+            if t.enabled:
+                t.emit(
+                    "move",
+                    designer=self.name,
+                    index=report.iterations,
+                    worst_neighbors=len(worst),
+                    moved_queries=len(moved),
+                    alpha=alpha,
+                )
             candidate = self.nominal.design(moved)
             report.designer_calls += 1
             candidate_costs = self._neighborhood_costs(neighborhood, candidate)
@@ -192,9 +220,26 @@ class CliffGuard(Designer):
                 alpha *= self.lambda_success
                 report.accepted_moves += 1
                 stale = 0
+                if t.enabled:
+                    t.emit(
+                        "accept",
+                        designer=self.name,
+                        index=report.iterations,
+                        worst_case=candidate_worst,
+                    )
+                    t.emit("alpha", designer=self.name, value=alpha, reason="success")
             else:
                 alpha *= self.lambda_failure
                 stale += 1
+                if t.enabled:
+                    t.emit(
+                        "reject",
+                        designer=self.name,
+                        index=report.iterations,
+                        candidate_worst=candidate_worst,
+                        worst_case=worst_case,
+                    )
+                    t.emit("alpha", designer=self.name, value=alpha, reason="failure")
                 if self.patience is not None and stale >= self.patience:
                     break
             report.worst_case_history.append(worst_case)
@@ -205,14 +250,28 @@ class CliffGuard(Designer):
     def _finish(report: CliffGuardReport, service, baseline, alpha: float) -> None:
         """Record designer effort (cost-call counters) and the final α."""
         report.final_alpha = alpha
-        if service is None or baseline is None:
-            return
-        report.backend = service.backend_name
-        delta = service.stats.since(baseline)
-        report.eval_wall_seconds = delta.eval_seconds
-        # Total query-cost evaluations the run asked for, counting the
-        # duplicates the batched API collapsed — the effort a designer
-        # without the evaluation service would have paid.
-        report.query_cost_calls = delta.query_requests + delta.dedup_saved
-        report.raw_cost_model_calls = delta.raw_model_calls
-        report.cache_hits = delta.query_hits
+        if service is not None and baseline is not None:
+            report.backend = service.backend_name
+            delta = service.stats.since(baseline)
+            report.eval_wall_seconds = delta.eval_seconds
+            # Total query-cost evaluations the run asked for, counting the
+            # duplicates the batched API collapsed — the effort a designer
+            # without the evaluation service would have paid.
+            report.query_cost_calls = delta.query_requests + delta.dedup_saved
+            report.raw_cost_model_calls = delta.raw_model_calls
+            report.cache_hits = delta.query_hits
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "design_finish",
+                designer=CliffGuard.name,
+                iterations=report.iterations,
+                accepted_moves=report.accepted_moves,
+                designer_calls=report.designer_calls,
+                final_alpha=report.final_alpha,
+                worst_case=(
+                    report.worst_case_history[-1]
+                    if report.worst_case_history
+                    else None
+                ),
+            )

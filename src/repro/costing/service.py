@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.costing.report import WorkloadCostReport
+from repro.obs import MetricsRegistry, get_metrics, tracer
 from repro.parallel.backends import ExecutionBackend, ThreadBackend, resolve_backend
 from repro.parallel.partition import chunk_count, contiguous_chunks
 
@@ -288,9 +289,13 @@ class CostEvaluationService:
     def clear(self) -> None:
         """Drop every cached entry (fingerprints survive: content hashes
         stay valid as long as the design objects themselves do)."""
-        self.stats.evictions += len(self._query_cache) + len(self._workload_cache)
+        dropped = len(self._query_cache) + len(self._workload_cache)
+        self.stats.evictions += dropped
         self._query_cache.clear()
         self._workload_cache.clear()
+        t = tracer()
+        if t.enabled and dropped:
+            t.emit("cache_evict", reason="clear", entries=dropped)
 
     def invalidate_design(self, design) -> None:
         """Drop every cached entry priced under ``design``.
@@ -306,7 +311,16 @@ class CostEvaluationService:
             del self._query_cache[key]
         for key in stale_workloads:
             del self._workload_cache[key]
-        self.stats.evictions += len(stale_queries) + len(stale_workloads)
+        dropped = len(stale_queries) + len(stale_workloads)
+        self.stats.evictions += dropped
+        t = tracer()
+        if t.enabled and dropped:
+            t.emit(
+                "cache_evict",
+                reason="invalidate_design",
+                design=fingerprint,
+                entries=dropped,
+            )
 
     def reset_stats(self) -> None:
         self.stats = CostServiceStats()
@@ -316,6 +330,9 @@ class CostEvaluationService:
         if len(self._query_cache) > self.max_query_entries:
             self._query_cache.popitem(last=False)
             self.stats.evictions += 1
+            t = tracer()
+            if t.enabled:
+                t.emit("cache_evict", reason="lru", cache="query", entries=1)
 
     def _remember_workload(
         self, key: tuple[str, str], report: WorkloadCostReport
@@ -324,6 +341,9 @@ class CostEvaluationService:
         if len(self._workload_cache) > self.max_workload_entries:
             self._workload_cache.popitem(last=False)
             self.stats.evictions += 1
+            t = tracer()
+            if t.enabled:
+                t.emit("cache_evict", reason="lru", cache="workload", entries=1)
 
     # -- single-query costing --------------------------------------------------------
 
@@ -462,6 +482,31 @@ class CostEvaluationService:
         """Name of the execution backend filling cache misses."""
         return self.backend.name if self.backend is not None else "serial"
 
+    def publish_metrics(self, registry: MetricsRegistry | None = None) -> None:
+        """Publish the cumulative :class:`CostServiceStats` (plus current
+        cache sizes) into a metrics registry (default: the process-wide
+        one; see :func:`repro.obs.get_metrics`).
+
+        Counters are published as gauges because the service's stats are
+        already cumulative — the registry mirrors the latest snapshot
+        rather than double-accumulating.  ``python -m repro stats``
+        renders the result.
+        """
+        registry = registry if registry is not None else get_metrics()
+        registry.gauge("costing.query_requests").set(self.stats.query_requests)
+        registry.gauge("costing.query_hits").set(self.stats.query_hits)
+        registry.gauge("costing.raw_model_calls").set(self.stats.raw_model_calls)
+        registry.gauge("costing.workload_requests").set(self.stats.workload_requests)
+        registry.gauge("costing.workload_hits").set(self.stats.workload_hits)
+        registry.gauge("costing.dedup_saved").set(self.stats.dedup_saved)
+        registry.gauge("costing.eval_seconds").set(self.stats.eval_seconds)
+        registry.gauge("costing.evictions").set(self.stats.evictions)
+        registry.gauge("costing.hit_rate").set(self.stats.hit_rate)
+        registry.gauge("costing.cached_query_entries").set(self.cached_query_entries)
+        registry.gauge("costing.cached_workload_entries").set(
+            self.cached_workload_entries
+        )
+
     def _fill_misses(self, design, design_fp: str, misses: list[str]) -> None:
         """Cost the uncached SQL texts for one design (optionally fanned
         out over the execution backend).
@@ -474,13 +519,30 @@ class CostEvaluationService:
         """
         if not misses:
             return
+        t = tracer()
         if self.backend is None or len(misses) < 2:
+            if t.enabled:
+                t.emit(
+                    "cache_fill",
+                    design=design_fp,
+                    misses=len(misses),
+                    backend="inline",
+                    chunks=1,
+                )
             for sql in misses:
                 cost = self.cost_model.query_cost(sql, design)
                 self.stats.raw_model_calls += 1
                 self._remember_query((design_fp, sql), cost)
             return
         chunks = contiguous_chunks(misses, chunk_count(len(misses), self.backend.jobs))
+        if t.enabled:
+            t.emit(
+                "cache_fill",
+                design=design_fp,
+                misses=len(misses),
+                backend=self.backend.name,
+                chunks=len(chunks),
+            )
         tasks = [(self.cost_model, design, chunk) for chunk in chunks]
         per_chunk = self.backend.map(_evaluate_cost_chunk, tasks)
         for chunk, costs in zip(chunks, per_chunk):

@@ -43,6 +43,7 @@ from repro.designers.base import (
 from repro.designers.columnar_nominal import ColumnarNominalDesigner
 from repro.designers.rowstore_nominal import RowstoreNominalDesigner
 from repro.engine.optimizer import ColumnarCostModel
+from repro.obs import tracer
 from repro.parallel.backends import ExecutionBackend, resolve_backend
 from repro.rowstore.optimizer import RowstoreCostModel
 from repro.workload.distance import SWGO, LatencyAwareDistance, WorkloadDistance
@@ -410,10 +411,22 @@ def run_designer_comparison(
     names = which if which is not None else registry.names()
     tasks = [(context.scale, workload, engine, name, gamma) for name in names]
     result = ReplayResult(workload_name=workload)
+    t = tracer()
     for name, run, counts in executor.map(_designer_comparison_task, tasks):
         result.runs[name] = run
         if not result.evaluated_query_counts:
             result.evaluated_query_counts = counts
+        if t.enabled:
+            # Worker processes carry the null tracer, so fanned-out
+            # replays surface here as one summary event per designer.
+            t.emit(
+                "designer_result",
+                workload=workload,
+                engine=engine,
+                designer=name,
+                avg_ms=run.mean_average_ms,
+                max_ms=run.mean_max_ms,
+            )
     return result
 
 
@@ -461,14 +474,36 @@ def run_gamma_sweep(
     if gammas is None:
         gammas = [0.0, 0.25 * base_gamma, base_gamma, 2 * base_gamma, 6 * base_gamma]
     executor = resolve_backend(backend)
+    t = tracer()
     if executor is None:
         adapter, nominal = _engine_stack(context, "columnar")
-        return {
-            gamma: _cliffguard_gamma_run(context, adapter, nominal, workload, gamma)
-            for gamma in gammas
-        }
+        results: dict[float, tuple[float, float]] = {}
+        for gamma in gammas:
+            results[gamma] = _cliffguard_gamma_run(
+                context, adapter, nominal, workload, gamma
+            )
+            if t.enabled:
+                t.emit(
+                    "gamma_result",
+                    workload=workload,
+                    gamma=gamma,
+                    avg_ms=results[gamma][0],
+                    max_ms=results[gamma][1],
+                )
+        return results
     tasks = [(context.scale, workload, gamma) for gamma in gammas]
-    return dict(executor.map(_gamma_sweep_task, tasks))
+    results = {}
+    for gamma, point in executor.map(_gamma_sweep_task, tasks):
+        results[gamma] = point
+        if t.enabled:
+            t.emit(
+                "gamma_result",
+                workload=workload,
+                gamma=gamma,
+                avg_ms=point[0],
+                max_ms=point[1],
+            )
+    return results
 
 
 def _cliffguard_gamma_run(
@@ -725,6 +760,7 @@ def run_costing_stats(
         skip_transitions=context.scale.skip_transitions,
         before_transition=_past_pool_hook(context.trace(workload), samplers),
     )
+    adapter.costing.publish_metrics()
     return CostingStatsOutcome(
         workload=workload,
         engine=engine,

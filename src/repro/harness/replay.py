@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.designers.base import DesignAdapter, Designer
+from repro.obs import tracer
 from repro.workload.query import WorkloadQuery
 from repro.workload.workload import Workload
 
@@ -190,6 +191,15 @@ def replay(
         if not evaluation:
             continue
         result.evaluated_query_counts.append(len(evaluation))
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "window",
+                workload=workload_name,
+                index=i,
+                train_queries=len(train),
+                evaluated_queries=len(evaluation),
+            )
         for name, designer in designers.items():
             input_window = test if getattr(designer, "is_oracle", False) else train
             service = getattr(adapter, "costing", None)
@@ -206,17 +216,28 @@ def replay(
             else:
                 query_calls = raw_calls = 0
                 hit_rate = 0.0
-            result.runs[name].windows.append(
-                WindowOutcome(
-                    window_index=i,
-                    average_ms=report.average_ms,
-                    max_ms=report.max_ms,
-                    design_seconds=design_seconds,
-                    design_price_bytes=adapter.design_price(design),
-                    structure_count=len(adapter.structures(design)),
-                    query_cost_calls=query_calls,
-                    raw_cost_model_calls=raw_calls,
-                    cache_hit_rate=hit_rate,
-                )
+            outcome = WindowOutcome(
+                window_index=i,
+                average_ms=report.average_ms,
+                max_ms=report.max_ms,
+                design_seconds=design_seconds,
+                design_price_bytes=adapter.design_price(design),
+                structure_count=len(adapter.structures(design)),
+                query_cost_calls=query_calls,
+                raw_cost_model_calls=raw_calls,
+                cache_hit_rate=hit_rate,
             )
+            result.runs[name].windows.append(outcome)
+            if t.enabled:
+                t.emit(
+                    "redesign",
+                    workload=workload_name,
+                    window=i,
+                    designer=name,
+                    avg_ms=outcome.average_ms,
+                    max_ms=outcome.max_ms,
+                    price_bytes=outcome.design_price_bytes,
+                    structures=outcome.structure_count,
+                    seconds=design_seconds,
+                )
     return result

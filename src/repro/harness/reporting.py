@@ -56,6 +56,14 @@ def format_costing_stats(stats, title: str | None = None) -> str:
     return format_table(["Counter", "Value"], stats.rows(), title=title)
 
 
+def format_metrics(registry, title: str | None = None) -> str:
+    """Render a :class:`repro.obs.MetricsRegistry` as a name-sorted table."""
+    rows = [[s.name, s.kind, s.value] for s in registry.samples()]
+    if not rows:
+        rows = [["(no metrics recorded)", "", ""]]
+    return format_table(["Metric", "Kind", "Value"], rows, title=title)
+
+
 def format_designer_effort(result, title: str | None = None) -> str:
     """Designer-effort table for a :class:`~repro.harness.replay.ReplayResult`:
     query-cost evaluations requested, raw cost-model calls paid, and the

@@ -22,6 +22,7 @@ import abc
 from dataclasses import dataclass, field
 
 from repro.designers.base import DesignAdapter, Designer
+from repro.obs import tracer
 from repro.workload.workload import Workload
 
 
@@ -35,24 +36,55 @@ class RedesignPolicy(abc.ABC):
         """``design_window`` is the workload the active design was built
         for (``None`` before the first design)."""
 
+    def reset(self) -> None:
+        """Forget any per-replay state (anchors, trigger logs).
+
+        :func:`scheduled_replay` calls this before every replay so one
+        policy object can be reused across runs without leaking state
+        from the previous trace.
+        """
+
 
 class PeriodicPolicy(RedesignPolicy):
-    """Re-design every ``every`` windows (the classic monthly re-tune)."""
+    """Re-design every ``every`` windows (the classic monthly re-tune).
+
+    The period is anchored at the **last re-design**, not at window 0:
+    when the leading windows of a trace are empty (``scheduled_replay``
+    skips them without consulting the policy), anchoring at zero would
+    silently shorten the first period — e.g. with ``every=4`` and the
+    first design at window 3, a ``window_index % every`` rule would
+    re-design again at window 4.
+    """
 
     def __init__(self, every: int = 1):
         if every < 1:
             raise ValueError("every must be >= 1")
         self.every = every
+        self._last_redesign: int | None = None
+
+    def reset(self) -> None:
+        self._last_redesign = None
 
     def should_redesign(self, window_index, design_window, current):
-        if design_window is None:
+        if design_window is None or self._last_redesign is None:
+            self._last_redesign = window_index
             return True
-        return window_index % self.every == 0
+        if window_index - self._last_redesign >= self.every:
+            self._last_redesign = window_index
+            return True
+        return False
 
 
 class DriftTriggeredPolicy(RedesignPolicy):
     """Re-design when δ(design workload, current workload) exceeds a
-    threshold — drift-aware operations."""
+    threshold — drift-aware operations.
+
+    ``triggers`` records the window indices that fired since the last
+    :meth:`reset`; :func:`scheduled_replay` resets per replay (and
+    copies the triggers onto its :class:`ScheduleOutcome`), so a policy
+    object reused across replays never mixes trigger indices from
+    different runs.
+    """
 
     def __init__(self, distance, threshold: float):
         if threshold < 0:
@@ -60,6 +92,9 @@ class DriftTriggeredPolicy(RedesignPolicy):
         self.distance = distance
         self.threshold = threshold
         self.triggers: list[int] = []
+
+    def reset(self) -> None:
+        self.triggers = []
 
     def should_redesign(self, window_index, design_window, current):
         if design_window is None:
@@ -78,6 +113,9 @@ class ScheduleOutcome:
     per_window_avg_ms: list[float] = field(default_factory=list)
     redesign_windows: list[int] = field(default_factory=list)
     total_deployment_seconds: float = 0.0
+    #: Window indices where a drift-triggered policy fired during *this*
+    #: replay (empty for policies without triggers, e.g. periodic).
+    drift_triggers: list[int] = field(default_factory=list)
 
     @property
     def redesign_count(self) -> int:
@@ -109,11 +147,18 @@ def scheduled_replay(
     substitutes filtered workloads for latency measurement.
     ``before_design(i)`` is called before each re-design (e.g. to refresh
     sampler pools).
+
+    The policy's per-replay state (period anchor, drift-trigger log) is
+    reset on entry, so one policy object can drive several replays; the
+    triggers a :class:`DriftTriggeredPolicy` fired during *this* replay
+    are returned on the outcome's ``drift_triggers``.
     """
     outcome = ScheduleOutcome(designer=designer.name)
+    policy.reset()
     evaluation = evaluation_windows or windows
     design = None
     design_window: Workload | None = None
+    t = tracer()
     for i in range(len(windows) - 1):
         train, test = windows[i], evaluation[i + 1]
         if not train or not test:
@@ -124,10 +169,26 @@ def scheduled_replay(
             design = designer.design(train)
             design_window = train
             outcome.redesign_windows.append(i)
-            outcome.total_deployment_seconds += (
-                adapter.design_price(design) / 1e9 * DEPLOY_SECONDS_PER_GB
+            deployment = adapter.design_price(design) / 1e9 * DEPLOY_SECONDS_PER_GB
+            outcome.total_deployment_seconds += deployment
+            if t.enabled:
+                t.emit(
+                    "redesign",
+                    designer=designer.name,
+                    window=i,
+                    policy=type(policy).__name__,
+                    deployment_seconds=deployment,
+                )
+        average_ms = adapter.workload_cost(test, design).average_ms
+        outcome.per_window_avg_ms.append(average_ms)
+        if t.enabled:
+            t.emit(
+                "window",
+                designer=designer.name,
+                index=i,
+                avg_ms=average_ms,
+                redesigned=bool(outcome.redesign_windows)
+                and outcome.redesign_windows[-1] == i,
             )
-        outcome.per_window_avg_ms.append(
-            adapter.workload_cost(test, design).average_ms
-        )
+    outcome.drift_triggers = list(getattr(policy, "triggers", ()))
     return outcome

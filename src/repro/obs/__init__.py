@@ -1,0 +1,48 @@
+"""Observability: structured run tracing + process-wide metrics.
+
+The paper's replay experiments are long multi-stage loops (Algorithm 2's
+line search inside a windowed replay inside an experiment grid); this
+package makes those loops inspectable without changing their behavior:
+
+* :mod:`repro.obs.trace` — :class:`RunTracer`, a JSONL event emitter
+  with monotonic timestamps and a deterministic sequence number, plus
+  the process-wide activation plumbing (:func:`tracer`,
+  :func:`set_tracer`, :func:`trace_to`).  Zero-cost when disabled.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, named
+  counters/gauges/histograms with a process-wide default
+  (:func:`get_metrics`), rendered by ``python -m repro stats``.
+
+Event schema and metrics catalog: ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    RunTracer,
+    set_tracer,
+    trace_to,
+    tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "get_metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunTracer",
+    "set_tracer",
+    "trace_to",
+    "tracer",
+]

@@ -1,0 +1,197 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The registry is the numeric side of the observability layer (the event
+side is :mod:`repro.obs.trace`).  It is deliberately tiny and
+dependency-free:
+
+* :class:`Counter` — monotonically increasing integer (cache evictions,
+  retried tasks, redesigns),
+* :class:`Gauge` — last-written value (cache sizes, hit rates),
+* :class:`Histogram` — streaming count/sum/min/max of observations
+  (per-chunk wall times); no buckets, because the consumers here want
+  summary rows, not quantile sketches.
+
+Instruments are cheap mutable objects with ``__slots__``; hot paths hold
+a direct reference and pay one attribute increment per update.  The
+process-wide registry (:func:`get_metrics`) mirrors the way
+:mod:`logging` exposes a root logger: library code publishes into it
+without threading a registry through every constructor, and
+``python -m repro stats`` renders it.  Updates are not locked — CPython
+attribute stores are atomic enough for monitoring counters, and the
+parallel backends only ever update from the parent process (workers
+return plain values; see :mod:`repro.parallel.backends`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Streaming count/sum/min/max of observed values."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:g}>"
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One rendered metric: ``(name, kind, value)``."""
+
+    name: str
+    kind: str
+    value: object
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, stable identity after.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, so call sites may cache
+    the instrument and update it directly.  A name registered as one
+    kind cannot be re-registered as another.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, object]:
+        """``{name: value}``; histograms render as a summary dict."""
+        out: dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = {
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "mean": instrument.mean,
+                    "min": instrument.minimum if instrument.count else None,
+                    "max": instrument.maximum if instrument.count else None,
+                }
+            else:
+                out[name] = instrument.value
+        return out
+
+    def samples(self) -> list[MetricSample]:
+        """Flat, name-sorted samples for the reporting tables."""
+        rendered: list[MetricSample] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                rendered.append(MetricSample(name, "counter", instrument.value))
+            elif isinstance(instrument, Gauge):
+                rendered.append(MetricSample(name, "gauge", instrument.value))
+            else:
+                rendered.append(
+                    MetricSample(
+                        name,
+                        "histogram",
+                        f"n={instrument.count} mean={instrument.mean:g}",
+                    )
+                )
+        return rendered
+
+    def reset(self) -> None:
+        """Zero every instrument **in place** (identities survive, so
+        call sites holding a direct reference keep publishing)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+
+#: The process-wide registry (the metrics analogue of the root logger).
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL

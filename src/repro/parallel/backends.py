@@ -29,6 +29,8 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolEx
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
+from repro.obs import get_metrics, tracer
+
 logger = logging.getLogger("repro.parallel")
 
 #: Environment knobs honored by :func:`backend_from_env` — the hook the CI
@@ -79,13 +81,18 @@ class ExecutionBackend(abc.ABC):
         tasks = list(tasks)
         self.stats.map_calls += 1
         self.stats.tasks += len(tasks)
+        metrics = get_metrics()
+        metrics.counter("parallel.map_calls").inc()
+        metrics.counter("parallel.tasks").inc(len(tasks))
         started = time.perf_counter()
         try:
             if not tasks:
                 return []
             return self._run(fn, tasks, timeout if timeout is not None else self.task_timeout)
         finally:
-            self.stats.wall_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.stats.wall_seconds += elapsed
+            metrics.histogram("parallel.map_seconds").observe(elapsed)
 
     @abc.abstractmethod
     def _run(self, fn, tasks: list, timeout: float | None) -> list:
@@ -114,7 +121,22 @@ class SerialBackend(ExecutionBackend):
         super().__init__(jobs=1, task_timeout=task_timeout)
 
     def _run(self, fn, tasks: list, timeout: float | None) -> list:
-        return [fn(task) for task in tasks]
+        t = tracer()
+        if not t.enabled:
+            return [fn(task) for task in tasks]
+        results: list = []
+        for i, task in enumerate(tasks):
+            t.emit("chunk_dispatch", backend=self.name, index=i, total=len(tasks))
+            started = time.perf_counter()
+            results.append(fn(task))
+            t.emit(
+                "chunk_complete",
+                backend=self.name,
+                index=i,
+                total=len(tasks),
+                seconds=time.perf_counter() - started,
+            )
+        return results
 
 
 class _PoolBackend(ExecutionBackend):
@@ -139,12 +161,27 @@ class _PoolBackend(ExecutionBackend):
             self._pool = None
 
     def _run(self, fn, tasks: list, timeout: float | None) -> list:
+        t = tracer()
+        started = time.perf_counter()
         results: list = [_UNSET] * len(tasks)
         failed: list[tuple[int, BaseException]] = []
         try:
-            futures = [self._executor().submit(fn, task) for task in tasks]
+            futures = []
+            for i, task in enumerate(tasks):
+                if t.enabled:
+                    t.emit(
+                        "chunk_dispatch", backend=self.name, index=i, total=len(tasks)
+                    )
+                futures.append(self._executor().submit(fn, task))
         except Exception as exc:  # pool is unusable — degrade fully serial
             logger.warning("%s backend could not submit (%r); running serially", self.name, exc)
+            if t.enabled:
+                t.emit(
+                    "backend_degrade",
+                    backend=self.name,
+                    tasks=len(tasks),
+                    error=repr(exc),
+                )
             self.shutdown()
             failed = [(i, exc) for i in range(len(tasks))]
             futures = []
@@ -152,10 +189,21 @@ class _PoolBackend(ExecutionBackend):
         for i, future in enumerate(futures):
             try:
                 results[i] = future.result(timeout=timeout)
+                if t.enabled:
+                    # ``seconds`` is the wall time from this map() call's
+                    # start until the chunk's result reached the parent.
+                    t.emit(
+                        "chunk_complete",
+                        backend=self.name,
+                        index=i,
+                        total=len(tasks),
+                        seconds=time.perf_counter() - started,
+                    )
             except FutureTimeoutError as exc:
                 # The worker may be wedged; tear the pool down so the
                 # remaining futures fail fast instead of waiting in line.
                 self.stats.timeouts += 1
+                get_metrics().counter("parallel.timeouts").inc()
                 failed.append((i, exc))
                 if not broken:
                     broken = True
@@ -175,8 +223,27 @@ class _PoolBackend(ExecutionBackend):
                 len(tasks),
                 exc,
             )
+            if t.enabled:
+                t.emit(
+                    "chunk_retry",
+                    backend=self.name,
+                    index=i,
+                    total=len(tasks),
+                    error=repr(exc),
+                )
+            retry_started = time.perf_counter()
             results[i] = fn(tasks[i])
             self.stats.retried += 1
+            get_metrics().counter("parallel.retries").inc()
+            if t.enabled:
+                t.emit(
+                    "chunk_complete",
+                    backend=self.name,
+                    index=i,
+                    total=len(tasks),
+                    seconds=time.perf_counter() - retry_started,
+                    retried=True,
+                )
         return results
 
 

@@ -30,10 +30,12 @@ quadratic form is evaluated in chunked numpy.  For the sampler's hot path
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable
 
 import numpy as np
 
+from repro.obs import get_metrics
 from repro.sql.analyzer import CLAUSES
 from repro.workload.workload import SEPARATE, ClauseSpec, VectorKey, Workload
 
@@ -42,6 +44,66 @@ SWGO: ClauseSpec = tuple(CLAUSES)
 
 #: Budget (in xor-ed words) per numpy chunk of the pairwise computation.
 _CHUNK_WORD_BUDGET = 4_000_000
+
+#: Bound on the per-workload self-term / baseline-cost caches.  A replay
+#: touches a handful of live workloads at a time (the base window plus a
+#: Γ-neighborhood), so a few hundred entries keep every hot hit while a
+#: months-long ``scheduled_replay``/monitor run can no longer grow the
+#: caches — and their strong references to dead workloads — without bound.
+_WORKLOAD_CACHE_ENTRIES = 512
+
+
+def _require_bitwise_count(module=np) -> None:
+    """Fail fast (with an actionable message) on numpy < 2.0.
+
+    The Hamming kernel uses ``np.bitwise_count`` (added in numpy 2.0);
+    without this guard an old numpy surfaces as an ``AttributeError``
+    deep inside the first distance computation instead of at import.
+    """
+    if not hasattr(module, "bitwise_count"):
+        version = getattr(module, "__version__", "unknown")
+        raise ImportError(
+            "repro.workload.distance requires numpy >= 2.0 "
+            f"(np.bitwise_count is missing; installed numpy is {version}). "
+            "Upgrade with: pip install 'numpy>=2.0'"
+        )
+
+
+_require_bitwise_count()
+
+
+class _PerWorkloadCache:
+    """Small LRU keyed by workload object identity.
+
+    Entries keep the workload itself alongside the value so an ``id``
+    reused by a new object after garbage collection can never alias a
+    stale entry.  Evictions are counted in the process-wide metrics
+    registry under ``counter_name``.
+    """
+
+    def __init__(self, counter_name: str, max_entries: int = _WORKLOAD_CACHE_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.counter_name = counter_name
+        self._entries: OrderedDict[int, tuple[Workload, float]] = OrderedDict()
+
+    def get(self, workload: Workload) -> float | None:
+        cached = self._entries.get(id(workload))
+        if cached is not None and cached[0] is workload:
+            self._entries.move_to_end(id(workload))
+            return cached[1]
+        return None
+
+    def put(self, workload: Workload, value: float) -> None:
+        self._entries[id(workload)] = (workload, value)
+        self._entries.move_to_end(id(workload))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            get_metrics().counter(self.counter_name).inc()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class WorkloadDistance:
@@ -64,7 +126,7 @@ class WorkloadDistance:
         self._words = (slots * total_columns + 63) // 64
         self._column_bits: dict[str, int] = {}
         self._mask_cache: dict[VectorKey, np.ndarray] = {}
-        self._self_terms: dict[int, tuple[Workload, float]] = {}
+        self._self_terms = _PerWorkloadCache("distance.self_term_evictions")
 
     # -- encoding ---------------------------------------------------------------
 
@@ -159,13 +221,13 @@ class WorkloadDistance:
     # -- the sampler fast path -------------------------------------------------------
 
     def self_term(self, workload: Workload) -> float:
-        """``V_W × S × V_W^T`` (cached per workload object)."""
-        cached = self._self_terms.get(id(workload))
-        if cached is not None and cached[0] is workload:
-            return cached[1]
+        """``V_W × S × V_W^T`` (cached per workload object, bounded LRU)."""
+        cached = self._self_terms.get(workload)
+        if cached is not None:
+            return cached
         masks, weights = self._encode_vector(workload.template_vector(self.clauses))
         value = self._normalize(self._quadratic(masks, weights))
-        self._self_terms[id(workload)] = (workload, value)
+        self._self_terms.put(workload, value)
         return value
 
     def cross_term(self, first: Workload, second: Workload) -> float:
@@ -230,14 +292,14 @@ class LatencyAwareDistance:
         self.base = base
         self.baseline_cost = baseline_cost
         self.omega = omega
-        self._cost_cache: dict[int, tuple[Workload, float]] = {}
+        self._cost_cache = _PerWorkloadCache("distance.cost_cache_evictions")
 
     def _cost(self, workload: Workload) -> float:
-        cached = self._cost_cache.get(id(workload))
-        if cached is not None and cached[0] is workload:
-            return cached[1]
+        cached = self._cost_cache.get(workload)
+        if cached is not None:
+            return cached
         cost = self.baseline_cost(workload)
-        self._cost_cache[id(workload)] = (workload, cost)
+        self._cost_cache.put(workload, cost)
         return cost
 
     def latency_term(self, first: Workload, second: Workload) -> float:

@@ -180,3 +180,43 @@ class TestDeprecations:
             )
         assert set(designers) == {"NoDesign", "CliffGuard"}
         assert len(samplers) == 1
+
+
+class TestObservabilityKnobs:
+    def test_invalid_trace_path_and_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            RunConfig(trace_path=123)
+        with pytest.raises(ValueError):
+            RunConfig(metrics="not a registry")
+
+    def test_trace_path_writes_parseable_events(self, tmp_path):
+        import json
+
+        trace_path = tmp_path / "session.jsonl"
+        config = RunConfig(**TINY, backend="serial", trace_path=trace_path)
+        with RobustDesignSession(config) as session:
+            session.design()
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        names = [e["event"] for e in events]
+        assert "design_start" in names and "design_finish" in names
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_metrics_registry_receives_costing_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        config = RunConfig(**TINY, backend="serial", metrics=registry)
+        with RobustDesignSession(config) as session:
+            session.design()
+        snap = registry.snapshot()
+        assert snap["costing.query_requests"] > 0
+        assert 0.0 <= snap["costing.hit_rate"] <= 1.0
+
+    def test_no_tracer_leaks_without_trace_path(self):
+        from repro.obs import NULL_TRACER, tracer
+
+        with RobustDesignSession(RunConfig(**TINY, backend="serial")) as session:
+            session.design()
+            assert tracer() is NULL_TRACER
+        assert tracer() is NULL_TRACER

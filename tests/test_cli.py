@@ -65,3 +65,29 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "CliffGuard" in out and "NoDesign" in out
+
+    def test_stats_renders_metrics_registry(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["stats", "--backend", "serial", "--trace", str(trace_path), *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics registry" in out
+        assert "costing.query_requests" in out
+        assert "parallel.map_calls" in out
+
+        import json
+
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        names = {e["event"] for e in events}
+        # The acceptance set: design-loop, cache, chunk, and redesign events.
+        assert {"iteration", "cache_fill", "chunk_dispatch", "redesign"} <= names
+        assert all("seq" in e and "t" in e for e in events)
+
+    def test_trace_flag_appends_across_runs(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["info", "--trace", str(trace_path), *FAST]) == 0
+        assert main(["info", "--trace", str(trace_path), *FAST]) == 0
+        # info emits no events, but both runs must leave the file parseable.
+        import json
+
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)

@@ -81,3 +81,50 @@ class TestScheduledReplay:
             before_design=calls.append,
         )
         assert calls and calls[0] == 0
+
+
+class TestPolicyStateRegression:
+    def test_periodic_anchors_on_last_redesign_not_window_zero(self, tiny_windows):
+        """Regression: the old ``window_index % every`` rule was anchored at
+        window 0, so a first design at a late window (e.g. after empty
+        leading windows that scheduled_replay skips without consulting the
+        policy) silently shortened the first period."""
+        window = tiny_windows[0]
+        policy = PeriodicPolicy(every=4)
+        assert policy.should_redesign(3, None, window)  # first consult: window 3
+        # The %-rule would have fired here (4 % 4 == 0) after one window.
+        assert not policy.should_redesign(4, window, window)
+        assert not policy.should_redesign(6, window, window)
+        assert policy.should_redesign(7, window, window)  # a full period later
+
+    def test_periodic_reset_forgets_the_anchor(self, tiny_windows):
+        window = tiny_windows[0]
+        policy = PeriodicPolicy(every=3)
+        assert policy.should_redesign(0, None, window)
+        assert not policy.should_redesign(1, window, window)
+        policy.reset()
+        # After reset the policy behaves like a fresh instance.
+        assert policy.should_redesign(5, window, window)
+        assert not policy.should_redesign(6, window, window)
+
+    def test_drift_triggers_do_not_accumulate_across_replays(
+        self, tiny_star, columnar_adapter, tiny_windows
+    ):
+        """Regression: ``DriftTriggeredPolicy.triggers`` grew across
+        ``scheduled_replay`` calls, mixing window indices from different
+        runs.  The replay now resets the policy and returns this run's
+        triggers on the outcome."""
+        schema, _ = tiny_star
+        distance = WorkloadDistance(schema.total_columns)
+        drift = distance(tiny_windows[0], tiny_windows[1])
+        policy = DriftTriggeredPolicy(distance, threshold=drift * 0.5)
+        nominal = ColumnarNominalDesigner(columnar_adapter)
+        first = scheduled_replay(tiny_windows, nominal, columnar_adapter, policy)
+        second = scheduled_replay(tiny_windows, nominal, columnar_adapter, policy)
+        # The eager threshold fires at least once per replay …
+        assert first.drift_triggers
+        # … identical replays must report identical triggers …
+        assert first.drift_triggers == second.drift_triggers
+        # … and the policy's own log holds only the latest run's triggers.
+        assert policy.triggers == second.drift_triggers
+        assert first.redesign_windows == second.redesign_windows

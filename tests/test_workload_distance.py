@@ -160,3 +160,56 @@ class TestLatencyAware:
         metric = self.make(0.2)
         expected = 0.8 * euclid + 0.2 * metric.latency_term(a, b)
         assert metric(a, b) == pytest.approx(expected)
+
+
+class TestBoundedCaches:
+    def test_self_term_cache_is_bounded(self):
+        from repro.obs import get_metrics
+
+        metric = WorkloadDistance(N_COLUMNS)
+        metric._self_terms.max_entries = 2
+        before = get_metrics().counter("distance.self_term_evictions").value
+        kept = [Workload([make_query([f"t.c{i}"])]) for i in range(5)]
+        for workload in kept:
+            metric.self_term(workload)
+        assert len(metric._self_terms) <= 2
+        evicted = get_metrics().counter("distance.self_term_evictions").value - before
+        assert evicted == 3
+
+    def test_self_term_cache_hit_returns_same_value(self):
+        metric = WorkloadDistance(N_COLUMNS)
+        workload = Workload([make_query(["t.c0", "t.c1"], 2.0)])
+        first = metric.self_term(workload)
+        assert metric.self_term(workload) == first
+        assert len(metric._self_terms) == 1
+
+    def test_cost_cache_is_bounded(self):
+        from repro.obs import get_metrics
+
+        calls: list[int] = []
+
+        def baseline(workload):
+            calls.append(1)
+            return workload.total_weight * 100.0
+
+        metric = LatencyAwareDistance(
+            WorkloadDistance(N_COLUMNS), baseline_cost=baseline, omega=0.5
+        )
+        metric._cost_cache.max_entries = 2
+        before = get_metrics().counter("distance.cost_cache_evictions").value
+        kept = [Workload([make_query([f"t.c{i}"], i + 1.0)]) for i in range(4)]
+        for workload in kept:
+            metric._cost(workload)
+        assert len(metric._cost_cache) <= 2
+        assert len(calls) == 4
+        # A cached workload is served without a new baseline call.
+        metric._cost(kept[-1])
+        assert len(calls) == 4
+        evicted = get_metrics().counter("distance.cost_cache_evictions").value - before
+        assert evicted == 2
+
+    def test_cache_rejects_nonpositive_bound(self):
+        from repro.workload.distance import _PerWorkloadCache
+
+        with pytest.raises(ValueError):
+            _PerWorkloadCache("x", max_entries=0)
