@@ -1,0 +1,203 @@
+"""Scalar vs. vectorized candidate-matrix build (the greedy hot path).
+
+Times ``designers.greedy.evaluate_candidates`` — the full
+``(candidates x queries)`` what-if matrix behind every nominal design —
+with the costing service's vectorized kernel enabled and with it forced
+off, at three sizes, and asserts the two matrices are bit-identical.
+Emits a JSON record (``BENCH_costing_kernel.json`` by default) so the
+speedup trajectory can be tracked across commits::
+
+    PYTHONPATH=src python benchmarks/bench_costing_kernel.py            # full
+    PYTHONPATH=src python benchmarks/bench_costing_kernel.py --smoke   # CI leg
+
+The candidate pool is the nominal designer's, extended with seeded
+synthetic projections so each configuration hits its exact candidate
+count regardless of how many structures the workload itself suggests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.costing.service import CostEvaluationService
+from repro.designers.base import ColumnarAdapter
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.greedy import evaluate_candidates
+from repro.engine.optimizer import ColumnarCostModel
+from repro.engine.projection import Projection, SortColumn
+from repro.workload.generator import TraceGenerator, build_star_schema, r1_profile
+from repro.workload.workload import Workload
+
+#: (name, query count, candidate count) per configuration.
+FULL_CONFIGS = [("small", 20, 60), ("medium", 60, 250), ("large", 160, 800)]
+SMOKE_CONFIGS = [("smoke-small", 6, 12), ("smoke-large", 10, 30)]
+
+
+def _environment(query_count: int):
+    """Schema plus ``query_count`` distinct trace queries."""
+    schema, roles = build_star_schema(
+        fact_tables=2,
+        fact_rows=1_000_000,
+        fact_attributes=12,
+        legacy_tables=2,
+        legacy_columns=3,
+        seed=7,
+    )
+    profile = r1_profile(queries_per_day=12, topic_count=4, templates_per_topic=5)
+    trace = TraceGenerator(schema, roles, profile, seed=9).generate(days=120)
+    sqls = list(dict.fromkeys(q.sql for q in trace))[:query_count]
+    if len(sqls) < query_count:
+        raise SystemExit(
+            f"trace produced only {len(sqls)} distinct queries, "
+            f"need {query_count}"
+        )
+    return schema, sqls
+
+
+def _synthetic_projections(schema, count: int, seed: int) -> list[Projection]:
+    """Seeded random projections over the fact tables."""
+    rng = np.random.default_rng(seed)
+    facts = [
+        name
+        for name, table in sorted(schema.tables.items())
+        if len(table.column_names) >= 6
+    ]
+    out: list[Projection] = []
+    seen: set[Projection] = set()
+    while len(out) < count:
+        table = facts[int(rng.integers(len(facts)))]
+        names = schema.table(table).column_names
+        width = int(rng.integers(2, min(len(names), 8)))
+        picked = tuple(
+            names[i] for i in sorted(rng.choice(len(names), size=width, replace=False))
+        )
+        sort_width = int(rng.integers(1, min(3, width) + 1))
+        order = rng.permutation(width)[:sort_width]
+        projection = Projection(
+            table=table,
+            columns=picked,
+            sort_columns=tuple(SortColumn(picked[int(i)]) for i in order),
+        )
+        if projection not in seen:
+            seen.add(projection)
+            out.append(projection)
+    return out
+
+
+def _candidates(schema, sqls: list[str], count: int) -> list[Projection]:
+    model = ColumnarCostModel(schema)
+    nominal = ColumnarNominalDesigner(ColumnarAdapter(model))
+    pool = nominal.generate_candidates(Workload.from_sql(sqls))[:count]
+    if len(pool) < count:
+        extra = _synthetic_projections(schema, count * 2, seed=13)
+        for projection in extra:
+            if len(pool) >= count:
+                break
+            if projection not in pool:
+                pool.append(projection)
+    return pool[:count]
+
+
+def _timed_build(schema, sqls: list[str], candidates, use_kernel: bool):
+    """Wall clock of the candidate-matrix build for one fresh service.
+
+    Query parsing/profiling is hoisted out of the timed region: it is a
+    shared preprocessing stage both paths pay identically (the profiler
+    memoizes by exact SQL text), not part of the what-if matrix build
+    this benchmark measures.
+    """
+    model = ColumnarCostModel(schema)
+    for sql in sqls:
+        model.profile(sql)
+    service = CostEvaluationService(model)
+    if not use_kernel:
+        service.kernel = None
+    adapter = ColumnarAdapter(model, costing=service)
+    workload = Workload.from_sql(sqls)
+    started = time.perf_counter()
+    evaluation = evaluate_candidates(adapter, workload, candidates)
+    return time.perf_counter() - started, evaluation
+
+
+def run(configs, out_path: Path, repeats: int = 3) -> dict:
+    results = []
+    for name, query_count, candidate_count in configs:
+        schema, sqls = _environment(query_count)
+        candidates = _candidates(schema, sqls, candidate_count)
+        scalar_seconds = kernel_seconds = float("inf")
+        scalar_eval = kernel_eval = None
+        for _ in range(repeats):  # best-of-N: each leg is a fresh service
+            seconds, scalar_eval = _timed_build(
+                schema, sqls, candidates, use_kernel=False
+            )
+            scalar_seconds = min(scalar_seconds, seconds)
+            seconds, kernel_eval = _timed_build(
+                schema, sqls, candidates, use_kernel=True
+            )
+            kernel_seconds = min(kernel_seconds, seconds)
+        equal = bool(
+            np.array_equal(scalar_eval.matrix, kernel_eval.matrix)
+            and np.array_equal(scalar_eval.base_costs, kernel_eval.base_costs)
+        )
+        record = {
+            "name": name,
+            "queries": len(sqls),
+            "candidates": len(candidates),
+            "scalar_seconds": scalar_seconds,
+            "kernel_seconds": kernel_seconds,
+            "speedup": scalar_seconds / kernel_seconds if kernel_seconds else 0.0,
+            "equal": equal,
+        }
+        results.append(record)
+        print(
+            f"{name}: {record['queries']}q x {record['candidates']}c  "
+            f"scalar {scalar_seconds:.3f}s  kernel {kernel_seconds:.3f}s  "
+            f"{record['speedup']:.1f}x  equal={equal}"
+        )
+        if not equal:
+            raise SystemExit(f"{name}: kernel matrix diverged from scalar matrix")
+    payload = {"benchmark": "costing_kernel", "configs": results}
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes: exercises equivalence and the JSON format only",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_costing_kernel.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    repeats = 1 if args.smoke else 3
+    out = args.out
+    if args.smoke and out.name == "BENCH_costing_kernel.json":
+        # The smoke leg must not clobber the checked-in full-run record.
+        out = out.with_name("BENCH_costing_kernel.smoke.json")
+    payload = run(configs, out, repeats=repeats)
+    if not args.smoke:
+        largest = payload["configs"][-1]
+        if largest["speedup"] < 5.0:
+            print(
+                f"WARNING: largest-config speedup {largest['speedup']:.1f}x "
+                "is below the 5x target"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,14 +28,7 @@ class ColumnType(enum.Enum):
         Strings are dictionary-encoded in the columnar engine, so their
         effective width is a code word plus amortized dictionary cost.
         """
-        widths = {
-            ColumnType.INT: 8,
-            ColumnType.FLOAT: 8,
-            ColumnType.STRING: 16,
-            ColumnType.DATE: 8,
-            ColumnType.BOOL: 1,
-        }
-        return widths[self]
+        return _BYTE_WIDTHS[self]
 
     @property
     def numpy_dtype(self) -> np.dtype:
@@ -57,3 +50,13 @@ class ColumnType(enum.Enum):
     def is_orderable(self) -> bool:
         """Whether range predicates and sort orders make sense."""
         return self is not ColumnType.BOOL
+
+
+#: Hoisted so the hot ``byte_width`` lookup never rebuilds the table.
+_BYTE_WIDTHS = {
+    ColumnType.INT: 8,
+    ColumnType.FLOAT: 8,
+    ColumnType.STRING: 16,
+    ColumnType.DATE: 8,
+    ColumnType.BOOL: 1,
+}

@@ -9,9 +9,12 @@ every :class:`repro.designers.base.DesignAdapter` routes its what-if
 calls through.
 """
 
+from repro.costing.kernel import kernel_for
+from repro.costing.memo import BoundedMemo
 from repro.costing.profile import QueryProfile, QueryProfiler, TableAccess
 from repro.costing.report import WorkloadCostReport
 from repro.costing.service import (
+    KERNEL_MIN_BATCH,
     CostEvaluationService,
     CostModel,
     CostServiceStats,
@@ -21,14 +24,17 @@ from repro.costing.service import (
 )
 
 __all__ = [
+    "BoundedMemo",
     "CostEvaluationService",
     "CostModel",
     "CostServiceStats",
+    "KERNEL_MIN_BATCH",
     "QueryProfile",
     "QueryProfiler",
     "TableAccess",
     "WorkloadCostReport",
     "design_fingerprint",
+    "kernel_for",
     "query_fingerprint",
     "workload_fingerprint",
 ]

@@ -1,0 +1,994 @@
+"""Vectorized batch costing: structure-of-arrays what-if evaluation.
+
+The scalar cost models (``engine/optimizer.py``, ``rowstore/optimizer.py``,
+``samples/optimizer.py``) price one (query, design) pair per Python call.
+Robust-design search needs *matrices* of those pairs — every candidate
+structure against every workload query, every neighborhood design against
+a shared query pool — so this module compiles :class:`QueryProfile`s and
+candidate structures into numpy structure-of-arrays form once and prices
+whole matrices with a handful of vector operations.
+
+Compiled layout:
+
+* every ``(table, column)`` of the schema gets a global bit; column sets
+  (query needs, projection columns, index keys, view groups, sample
+  strata) become fixed-width ``uint64`` bit arrays, so coverage checks
+  are ``np.bitwise_and`` + ``np.bitwise_count`` reductions (numpy >= 2.0,
+  the same floor as :mod:`repro.workload.distance`),
+* per-query anchor row counts, selectivities, predicate counts, and byte
+  widths are ``float64`` arrays,
+* everything that depends on a *(structure, query)* pair through Python
+  semantics — sort-key-prefix selectivity walks, B-tree seek depths,
+  GROUP BY/ORDER BY sort-order matches — is folded into precomputed
+  per-pair factor matrices during compilation.
+
+Bit-identity contract (tolerance = 0): the kernels replicate the scalar
+models' floating-point operations *in the same order*, element-wise, so
+every cost is the exact float ``query_cost`` would have produced.  Two
+rules make that possible:
+
+* any term whose value involves ``math.log2`` (sort costs, B-tree seek
+  levels, view rollup sorts) is computed scalarly with ``math.log2`` at
+  compile time — ``np.log2`` is not guaranteed to round identically —
+  and folded into a per-query / per-access / per-pair constant, and
+* masked additions use ``np.where(cond, term, 0.0)``; adding ``+0.0``
+  is bitwise-preserving because every partial cost here is positive.
+
+The scalar ``query_cost`` remains the reference implementation; the
+property tests in ``tests/test_costing_kernel.py`` assert exact equality
+on all three substrates.  Models the dispatcher does not recognize
+(stubs, subclasses with overridden constants) simply get no kernel and
+stay on the scalar path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+import repro.engine.optimizer as _col
+import repro.rowstore.optimizer as _row
+import repro.samples.optimizer as _smp
+from repro.costing.profile import QueryProfile, TableAccess
+from repro.rowstore.matview import MaterializedView
+
+__all__ = [
+    "ColumnarKernel",
+    "RowstoreKernel",
+    "SamplesKernel",
+    "kernel_for",
+]
+
+
+def _require_bitwise_count(module=np) -> None:
+    """Fail fast (with an actionable message) on numpy < 2.0."""
+    if not hasattr(module, "bitwise_count"):
+        version = getattr(module, "__version__", "unknown")
+        raise ImportError(
+            "repro.costing.kernel requires numpy >= 2.0 "
+            f"(np.bitwise_count is missing; installed numpy is {version}). "
+            "Upgrade with: pip install 'numpy>=2.0'"
+        )
+
+
+_require_bitwise_count()
+
+
+# -- bit namespace ----------------------------------------------------------------
+
+
+class _ColumnBits:
+    """Deterministic (table, column) -> bit assignment over one schema."""
+
+    def __init__(self, schema):
+        self.table_ids: dict[str, int] = {
+            name: i for i, name in enumerate(schema.tables)
+        }
+        self.bits: dict[tuple[str, str], int] = {}
+        for name, table in schema.tables.items():
+            for column in table.column_names:
+                self.bits[(name, column)] = len(self.bits)
+        self.words = max(1, (len(self.bits) + 63) // 64)
+
+    def table_id(self, name: str) -> int:
+        """Table id, or -1 for tables the schema does not know."""
+        return self.table_ids.get(name, -1)
+
+    def mask(self, table: str, columns) -> np.ndarray:
+        """uint64 bit-array for a column set (unknown columns are skipped:
+        they can never appear in a query's needs, so they cannot change a
+        coverage check)."""
+        mask = np.zeros(self.words, dtype=np.uint64)
+        for column in columns:
+            bit = self.bits.get((table, column))
+            if bit is None:
+                continue
+            mask[bit >> 6] |= np.uint64(1) << np.uint64(bit & 63)
+        return mask
+
+    def masks(self, items) -> np.ndarray:
+        """(N, words) uint64 bit-arrays for ``[(table, columns), ...]`` —
+        one flattened scatter instead of N per-item array builds."""
+        out = np.zeros((len(items), self.words), dtype=np.uint64)
+        rows: list[int] = []
+        words: list[int] = []
+        values: list[int] = []
+        for i, (table, columns) in enumerate(items):
+            for column in columns:
+                bit = self.bits.get((table, column))
+                if bit is None:
+                    continue
+                rows.append(i)
+                words.append(bit >> 6)
+                values.append(1 << (bit & 63))
+        if rows:
+            np.bitwise_or.at(
+                out,
+                (np.array(rows, dtype=np.intp), np.array(words, dtype=np.intp)),
+                np.array(values, dtype=np.uint64),
+            )
+        return out
+
+
+def _covered(need: np.ndarray, have: np.ndarray) -> np.ndarray:
+    """(S, A) bool: ``need[a] ⊆ have[s]`` via popcount of ``need & ~have``."""
+    if have.shape[0] == 0 or need.shape[0] == 0:
+        return np.zeros((have.shape[0], need.shape[0]), dtype=bool)
+    missing = need[None, :, :] & ~have[:, None, :]
+    return np.bitwise_count(missing).sum(axis=2, dtype=np.int64) == 0
+
+
+# -- shared access-side compilation -----------------------------------------------
+
+
+@dataclass
+class _AccessTable:
+    """Deduplicated anchor + dimension accesses of one profile batch."""
+
+    accesses: list[TableAccess]
+    anchor_acc: np.ndarray  # (Q,) index into accesses
+    dim_pad: np.ndarray  # (Q, Dmax) index into accesses, -1 padded
+
+
+def _compile_accesses(profiles: list[QueryProfile]) -> _AccessTable:
+    index: dict[TableAccess, int] = {}
+    accesses: list[TableAccess] = []
+
+    def intern(access: TableAccess) -> int:
+        slot = index.get(access)
+        if slot is None:
+            slot = len(accesses)
+            index[access] = slot
+            accesses.append(access)
+        return slot
+
+    anchor_acc = np.array(
+        [intern(p.anchor) for p in profiles], dtype=np.intp
+    ).reshape(len(profiles))
+    dim_lists = [[intern(d) for d in p.dimensions] for p in profiles]
+    dmax = max((len(d) for d in dim_lists), default=0)
+    dim_pad = np.full((len(profiles), dmax), -1, dtype=np.intp)
+    for q, dims in enumerate(dim_lists):
+        for j, a in enumerate(dims):
+            dim_pad[q, j] = a
+    return _AccessTable(accesses=accesses, anchor_acc=anchor_acc, dim_pad=dim_pad)
+
+
+def _dim_sum_vector(dim_pad: np.ndarray, term: np.ndarray) -> np.ndarray:
+    """Left-to-right padded accumulation of per-access ``term`` -> (Q,).
+
+    Mirrors the scalar ``sum(dimension_cost(d) for d in dims)`` exactly:
+    Python's ``sum`` folds left starting at 0, and adding a masked 0.0
+    preserves every (positive) partial sum bit-for-bit.
+    """
+    total = np.zeros(dim_pad.shape[0], dtype=np.float64)
+    for j in range(dim_pad.shape[1]):
+        col = dim_pad[:, j]
+        total = total + np.where(col >= 0, term[np.maximum(col, 0)], 0.0)
+    return total
+
+
+def _dim_sum_matrix(dim_pad: np.ndarray, term: np.ndarray) -> np.ndarray:
+    """The (S, A)-term variant of :func:`_dim_sum_vector` -> (S, Q)."""
+    total = np.zeros((term.shape[0], dim_pad.shape[0]), dtype=np.float64)
+    for j in range(dim_pad.shape[1]):
+        col = dim_pad[:, j]
+        contrib = term[:, np.maximum(col, 0)]
+        total = total + np.where((col >= 0)[None, :], contrib, 0.0)
+    return total
+
+
+def _related_mask(
+    struct_table: np.ndarray,
+    anchor_table: np.ndarray,
+    acc_table: np.ndarray,
+    dim_pad: np.ndarray,
+) -> np.ndarray:
+    """(S, Q) bool: the structure's table is the query's anchor table or
+    one of its dimension tables — the only pairs whose single-structure
+    cost can differ from the empty-design cost."""
+    related = struct_table[:, None] == anchor_table[None, :]
+    for j in range(dim_pad.shape[1]):
+        col = dim_pad[:, j]
+        tables = acc_table[np.maximum(col, 0)]
+        related = related | ((col >= 0)[None, :] & (struct_table[:, None] == tables[None, :]))
+    return related
+
+
+# -- columnar ---------------------------------------------------------------------
+
+
+@dataclass
+class ColumnarBatch:
+    """Compiled (projections × queries) batch for the columnar model."""
+
+    sqls: list[str]
+    words: int
+    # structures (S)
+    struct_table: np.ndarray
+    # accesses (A)
+    acc_table: np.ndarray
+    acc_rows: np.ndarray
+    acc_needed_bytes: np.ndarray
+    acc_pred: np.ndarray
+    acc_super_scan: np.ndarray  # scan cost via the table's super-projection
+    acc_build_add: np.ndarray  # max(rows·sel, 1) · JOIN_BUILD_COST_MS
+    # (S, A) pair factors
+    scan_valid: np.ndarray  # table match & coverage
+    prefix: np.ndarray  # folded sort-key-prefix selectivity
+    # per query (Q)
+    anchor_acc: np.ndarray
+    dim_pad: np.ndarray
+    super_anchor: np.ndarray  # full anchor-path cost via the super-projection
+    has_group: np.ndarray
+    has_order: np.ndarray
+    agg_sorted_add: np.ndarray  # rows_out · SORTED_AGG_COST_MS
+    agg_hash_add: np.ndarray  # rows_out · HASH_AGG_COST_MS
+    sort_add: np.ndarray  # n · log2(n) · SORT_COST_MS (math.log2, folded)
+    n_dims: np.ndarray
+    # (S, Q) pair booleans
+    sorted_groups: np.ndarray
+    order_free: np.ndarray
+
+    @property
+    def structure_count(self) -> int:
+        return int(self.struct_table.shape[0])
+
+    @property
+    def query_count(self) -> int:
+        return len(self.sqls)
+
+    def take(self, q_indices) -> "ColumnarBatch":
+        """A batch restricted to a subset of queries (for chunked workers)."""
+        idx = np.asarray(q_indices, dtype=np.intp)
+        return replace(
+            self,
+            sqls=[self.sqls[i] for i in idx],
+            anchor_acc=self.anchor_acc[idx],
+            dim_pad=self.dim_pad[idx],
+            super_anchor=self.super_anchor[idx],
+            has_group=self.has_group[idx],
+            has_order=self.has_order[idx],
+            agg_sorted_add=self.agg_sorted_add[idx],
+            agg_hash_add=self.agg_hash_add[idx],
+            sort_add=self.sort_add[idx],
+            n_dims=self.n_dims[idx],
+            sorted_groups=self.sorted_groups[:, idx],
+            order_free=self.order_free[:, idx],
+        )
+
+    # -- matrices ----------------------------------------------------------------
+
+    def _anchor_matrix(self) -> np.ndarray:
+        """(S, Q) full anchor-path cost, inf where the projection cannot
+        serve the query (wrong table or missing columns)."""
+        a = self.anchor_acc
+        rows = self.acc_rows[a]
+        prefix = self.prefix[:, a]
+        rows_scanned = np.maximum(rows[None, :] * prefix, 1.0)
+        cost = (rows_scanned * self.acc_needed_bytes[a][None, :]) * _col.BYTE_COST_MS
+        cost = cost + (rows_scanned * self.acc_pred[a][None, :]) * _col.PREDICATE_COST_MS
+        agg = np.where(
+            self.sorted_groups, self.agg_sorted_add[None, :], self.agg_hash_add[None, :]
+        )
+        cost = cost + np.where(self.has_group[None, :], agg, 0.0)
+        needs_sort = self.has_order[None, :] & ~self.order_free
+        cost = cost + np.where(needs_sort, self.sort_add[None, :], 0.0)
+        cost = cost + (rows_scanned * self.n_dims[None, :]) * _col.JOIN_PROBE_COST_MS
+        return np.where(self.scan_valid[:, a], cost, np.inf)
+
+    def _dim_scan_matrix(self) -> np.ndarray:
+        """(S, A) projection scan cost per access, inf where unusable."""
+        rows_scanned = np.maximum(self.acc_rows[None, :] * self.prefix, 1.0)
+        cost = (rows_scanned * self.acc_needed_bytes[None, :]) * _col.BYTE_COST_MS
+        cost = cost + (rows_scanned * self.acc_pred[None, :]) * _col.PREDICATE_COST_MS
+        return np.where(self.scan_valid, cost, np.inf)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def base_costs(self) -> np.ndarray:
+        """(Q,) empty-design costs."""
+        dim_term = self.acc_super_scan + self.acc_build_add
+        total = _dim_sum_vector(self.dim_pad, dim_term)
+        return (_col.QUERY_OVERHEAD_MS + self.super_anchor) + total
+
+    def design_costs(self, members=None) -> np.ndarray:
+        """(Q,) costs under the design made of ``members`` (structure row
+        indices; None = all compiled structures)."""
+        members = (
+            np.arange(self.structure_count, dtype=np.intp)
+            if members is None
+            else np.asarray(members, dtype=np.intp)
+        )
+        if members.size:
+            anchor = self._anchor_matrix()[members]
+            best = np.minimum(self.super_anchor, anchor.min(axis=0))
+            dim_best = np.minimum(
+                self.acc_super_scan, self._dim_scan_matrix()[members].min(axis=0)
+            )
+        else:
+            best = self.super_anchor
+            dim_best = self.acc_super_scan
+        total = _dim_sum_vector(self.dim_pad, dim_best + self.acc_build_add)
+        return (_col.QUERY_OVERHEAD_MS + best) + total
+
+    def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(price, unservable)`` masks for the greedy candidate matrix.
+
+        ``price[s, q]`` marks pairs whose single-structure cost can differ
+        from the base cost: the candidate's table appears in the query
+        (anchor or dimension) and, when it is the anchor table, the
+        candidate can serve the anchor.  ``unservable[s, q]`` marks
+        anchor-table candidates that cannot serve the query at all (the
+        scalar designer leaves those cells at ``inf``); every remaining
+        cell is exactly the base cost (off-table candidates leave every
+        access path unchanged).
+        """
+        anchor_valid = self.scan_valid[:, self.anchor_acc]
+        same_anchor = self.struct_table[:, None] == self.acc_table[self.anchor_acc][None, :]
+        related = _related_mask(
+            self.struct_table, self.acc_table[self.anchor_acc], self.acc_table, self.dim_pad
+        )
+        unservable = same_anchor & ~anchor_valid
+        return related & ~unservable, unservable
+
+    def candidate_costs(self) -> np.ndarray:
+        """(S, Q) query cost with only structure ``s`` deployed."""
+        anchor = self._anchor_matrix()
+        best = np.minimum(self.super_anchor[None, :], anchor)
+        dim_term = (
+            np.minimum(self.acc_super_scan[None, :], self._dim_scan_matrix())
+            + self.acc_build_add[None, :]
+        )
+        total = _dim_sum_matrix(self.dim_pad, dim_term)
+        return (_col.QUERY_OVERHEAD_MS + best) + total
+
+
+class ColumnarKernel:
+    """Compiles and batch-prices the columnar (projection) substrate."""
+
+    name = "columnar"
+
+    def __init__(self, model):
+        self.model = model
+
+    def compile(self, profiles, structures) -> ColumnarBatch:
+        model = self.model
+        profiles = list(profiles)
+        structures = list(structures)
+        bits = _ColumnBits(model.schema)
+        table = _compile_accesses(profiles)
+        accesses = table.accesses
+
+        acc_table = np.array(
+            [bits.table_id(a.table) for a in accesses], dtype=np.int64
+        ).reshape(len(accesses))
+        acc_rows = np.array([float(a.row_count) for a in accesses], dtype=np.float64)
+        acc_needed_bytes = np.array(
+            [float(a.needed_bytes) for a in accesses], dtype=np.float64
+        )
+        acc_pred = np.array(
+            [float(a.predicate_count) for a in accesses], dtype=np.float64
+        )
+        acc_super_scan = np.zeros(len(accesses), dtype=np.float64)
+        acc_build_add = np.zeros(len(accesses), dtype=np.float64)
+        for i, access in enumerate(accesses):
+            acc_super_scan[i] = model._scan_cost(access, model._super[access.table])
+            rows = max(access.row_count * access.total_selectivity, 1.0)
+            acc_build_add[i] = rows * _col.JOIN_BUILD_COST_MS
+
+        acc_mask = bits.masks([(a.table, a.needed_columns) for a in accesses])
+        struct_table = np.array(
+            [bits.table_id(s.table) for s in structures], dtype=np.int64
+        ).reshape(len(structures))
+        struct_mask = bits.masks([(s.table, s.columns) for s in structures])
+        scan_valid = _covered(acc_mask, struct_mask) & (
+            struct_table[:, None] == acc_table[None, :]
+        )
+
+        # Fold sort-key-prefix selectivity per (structure, access) pair —
+        # the same multiply-in-order walk the scalar model does, vectorized
+        # over structures.  Sort-key columns are interned to global bit ids
+        # (id ``n_bits`` = "unknown": never eq, never range); per access,
+        # position j contributes its eq/range factor only while every
+        # earlier position matched an eq predicate, and a range match ends
+        # the walk.  Skipped positions multiply by exactly 1.0, which is a
+        # bit-exact identity, and the explicit per-position fold below
+        # keeps the scalar model's left-to-right multiply order.
+        sort_keys = [s.sort_key for s in structures]
+        prefix = np.ones((len(structures), len(accesses)), dtype=np.float64)
+        key_width = max((len(k) for k in sort_keys), default=0)
+        if structures and accesses and key_width:
+            n_bits = len(bits.bits)
+            key_ids = np.full((len(structures), key_width), n_bits, dtype=np.intp)
+            for s, structure in enumerate(structures):
+                for j, name in enumerate(sort_keys[s]):
+                    key_ids[s, j] = bits.bits.get((structure.table, name), n_bits)
+            structs_by_table: dict[int, list[int]] = {}
+            for s, tid in enumerate(struct_table.tolist()):
+                structs_by_table.setdefault(tid, []).append(s)
+            for a, (access, tid) in enumerate(zip(accesses, acc_table.tolist())):
+                rows_s = structs_by_table.get(tid)
+                if not rows_s:
+                    continue
+                eq_sel = np.ones(n_bits + 1, dtype=np.float64)
+                rng_sel = np.ones(n_bits + 1, dtype=np.float64)
+                is_eq = np.zeros(n_bits + 1, dtype=bool)
+                is_rng = np.zeros(n_bits + 1, dtype=bool)
+                for name, sel in access.eq_map.items():
+                    bit = bits.bits.get((access.table, name))
+                    if bit is not None:
+                        is_eq[bit] = True
+                        eq_sel[bit] = sel
+                for name, sel in access.range_map.items():
+                    bit = bits.bits.get((access.table, name))
+                    if bit is not None:
+                        is_rng[bit] = True
+                        rng_sel[bit] = sel
+                ids = key_ids[rows_s]
+                eq_hit = is_eq[ids]
+                factor = np.where(
+                    eq_hit,
+                    eq_sel[ids],
+                    np.where(is_rng[ids], rng_sel[ids], 1.0),
+                )
+                alive = np.ones(len(rows_s), dtype=bool)
+                total = np.ones(len(rows_s), dtype=np.float64)
+                for j in range(ids.shape[1]):
+                    total = total * np.where(alive, factor[:, j], 1.0)
+                    alive = alive & eq_hit[:, j]
+                prefix[rows_s, a] = total
+
+        # Per-query folded terms (all log2 work happens here, scalarly).
+        count = len(profiles)
+        super_anchor = np.zeros(count, dtype=np.float64)
+        has_group = np.zeros(count, dtype=bool)
+        has_order = np.zeros(count, dtype=bool)
+        agg_sorted_add = np.zeros(count, dtype=np.float64)
+        agg_hash_add = np.zeros(count, dtype=np.float64)
+        sort_add = np.zeros(count, dtype=np.float64)
+        n_dims = np.zeros(count, dtype=np.float64)
+        for q, profile in enumerate(profiles):
+            access = profile.anchor
+            super_anchor[q] = model.projection_cost(
+                profile, model._super[access.table]
+            )
+            has_group[q] = bool(profile.group_by)
+            has_order[q] = bool(profile.order_by)
+            n_dims[q] = float(len(profile.dimensions))
+            rows_out = max(access.row_count * access.total_selectivity, 1.0)
+            agg_sorted_add[q] = rows_out * _col.SORTED_AGG_COST_MS
+            agg_hash_add[q] = rows_out * _col.HASH_AGG_COST_MS
+            if profile.group_by:
+                result_rows = max(min(profile.group_cardinality, rows_out), 1.0)
+            else:
+                result_rows = rows_out
+            if profile.order_by:
+                n = max(result_rows, 2.0)
+                sort_add[q] = n * math.log2(n) * _col.SORT_COST_MS
+
+        # Pair booleans: GROUP BY streaming and ORDER BY-free matches.
+        # Queries are template-derived, so distinct (anchor table,
+        # group-by set) and (anchor table, order-by tuple) combinations
+        # are few; evaluating each combination once against the per-table
+        # structures replaces the per-(structure, query) Python loop.
+        sorted_groups = np.zeros((len(structures), count), dtype=bool)
+        order_free = np.zeros((len(structures), count), dtype=bool)
+        anchor_tid = acc_table[table.anchor_acc]
+        rows_by_table: dict[int, list[int]] = {}
+        for s, tid in enumerate(struct_table.tolist()):
+            rows_by_table.setdefault(tid, []).append(s)
+        structs_of = {
+            tid: np.array(rows, dtype=np.intp) for tid, rows in rows_by_table.items()
+        }
+        group_queries: dict[tuple[int, tuple], list[int]] = {}
+        order_queries: dict[tuple[int, tuple], list[int]] = {}
+        for q, (profile, tid) in enumerate(zip(profiles, anchor_tid.tolist())):
+            if profile.group_by:
+                key = (tid, tuple(profile.group_by))
+                group_queries.setdefault(key, []).append(q)
+            elif profile.order_by:
+                order_queries.setdefault((tid, profile.order_by), []).append(q)
+        for (tid, group_by), qs in group_queries.items():
+            rows_s = structs_of.get(tid)
+            if rows_s is None:
+                continue
+            width = len(group_by)
+            group_set = set(group_by)
+            hits = np.fromiter(
+                (
+                    len(sort_keys[s]) >= width
+                    and set(sort_keys[s][:width]) == group_set
+                    for s in rows_s
+                ),
+                dtype=bool,
+                count=len(rows_s),
+            )
+            if hits.any():
+                sorted_groups[np.ix_(rows_s[hits], qs)] = True
+        for (tid, order_by), qs in order_queries.items():
+            rows_s = structs_of.get(tid)
+            if rows_s is None:
+                continue
+            width = len(order_by)
+            hits = np.fromiter(
+                (sort_keys[s][:width] == order_by for s in rows_s),
+                dtype=bool,
+                count=len(rows_s),
+            )
+            if hits.any():
+                order_free[np.ix_(rows_s[hits], qs)] = True
+
+        return ColumnarBatch(
+            sqls=[p.sql for p in profiles],
+            words=bits.words,
+            struct_table=struct_table,
+            acc_table=acc_table,
+            acc_rows=acc_rows,
+            acc_needed_bytes=acc_needed_bytes,
+            acc_pred=acc_pred,
+            acc_super_scan=acc_super_scan,
+            acc_build_add=acc_build_add,
+            scan_valid=scan_valid,
+            prefix=prefix,
+            anchor_acc=table.anchor_acc,
+            dim_pad=table.dim_pad,
+            super_anchor=super_anchor,
+            has_group=has_group,
+            has_order=has_order,
+            agg_sorted_add=agg_sorted_add,
+            agg_hash_add=agg_hash_add,
+            sort_add=sort_add,
+            n_dims=n_dims,
+            sorted_groups=sorted_groups,
+            order_free=order_free,
+        )
+
+
+# -- rowstore ---------------------------------------------------------------------
+
+
+@dataclass
+class RowstoreBatch:
+    """Compiled (indices/views × queries) batch for the row store."""
+
+    sqls: list[str]
+    words: int
+    struct_table: np.ndarray  # (S,)
+    is_view: np.ndarray  # (S,) bool
+    key_bytes: np.ndarray  # (S,) covering-read width (0 for views)
+    # accesses (A)
+    acc_table: np.ndarray
+    acc_rows: np.ndarray
+    acc_row_bytes: np.ndarray
+    acc_pred: np.ndarray
+    acc_seek_add: np.ndarray  # SEEK_COST_MS · log2(max(rows, 2)), folded
+    acc_base_scan: np.ndarray  # full-table-scan cost (dimension fallback)
+    acc_build_add: np.ndarray
+    # (S, A) pair factors (index rows only; view rows are invalid)
+    seek_valid: np.ndarray
+    seek_sel: np.ndarray  # folded seek-prefix selectivity
+    seek_depth: np.ndarray  # folded seek depth (float64)
+    covering: np.ndarray
+    # per query (Q)
+    anchor_acc: np.ndarray
+    dim_pad: np.ndarray
+    base_path: np.ndarray  # scan + post cost (the NoDesign anchor path)
+    post: np.ndarray  # aggregation/sort/probe work after index fetch
+    # (S, Q): view rollup costs (inf for index rows / unanswerable pairs)
+    view_cost: np.ndarray
+
+    @property
+    def structure_count(self) -> int:
+        return int(self.struct_table.shape[0])
+
+    @property
+    def query_count(self) -> int:
+        return len(self.sqls)
+
+    def take(self, q_indices) -> "RowstoreBatch":
+        idx = np.asarray(q_indices, dtype=np.intp)
+        return replace(
+            self,
+            sqls=[self.sqls[i] for i in idx],
+            anchor_acc=self.anchor_acc[idx],
+            dim_pad=self.dim_pad[idx],
+            base_path=self.base_path[idx],
+            post=self.post[idx],
+            view_cost=self.view_cost[:, idx],
+        )
+
+    def _index_access_matrix(self) -> np.ndarray:
+        """(S, A) cost of driving each access through each index."""
+        matched = np.maximum(self.acc_rows[None, :] * self.seek_sel, 1.0)
+        fetch = np.where(
+            self.covering,
+            (matched * self.key_bytes[:, None]) * _row.BYTE_COST_MS,
+            ((matched * self.acc_row_bytes[None, :]) * _row.BYTE_COST_MS)
+            * _row.RANDOM_READ_FACTOR,
+        )
+        cost = self.acc_seek_add[None, :] + fetch
+        remaining = np.maximum(self.acc_pred[None, :] - self.seek_depth, 0.0)
+        cost = cost + (matched * remaining) * _row.PREDICATE_COST_MS
+        return np.where(self.seek_valid, cost, np.inf)
+
+    def _anchor_matrix(self) -> np.ndarray:
+        """(S, Q) full query cost via each structure's anchor path."""
+        idx_anchor = self._index_access_matrix()[:, self.anchor_acc] + self.post[None, :]
+        return np.where(self.is_view[:, None], self.view_cost, idx_anchor)
+
+    def base_costs(self) -> np.ndarray:
+        total = _dim_sum_vector(self.dim_pad, self.acc_base_scan + self.acc_build_add)
+        return (_row.QUERY_OVERHEAD_MS + self.base_path) + total
+
+    def design_costs(self, members=None) -> np.ndarray:
+        members = (
+            np.arange(self.structure_count, dtype=np.intp)
+            if members is None
+            else np.asarray(members, dtype=np.intp)
+        )
+        if members.size:
+            best = np.minimum(self.base_path, self._anchor_matrix()[members].min(axis=0))
+            dim_best = np.minimum(
+                self.acc_base_scan, self._index_access_matrix()[members].min(axis=0)
+            )
+        else:
+            best = self.base_path
+            dim_best = self.acc_base_scan
+        total = _dim_sum_vector(self.dim_pad, dim_best + self.acc_build_add)
+        return (_row.QUERY_OVERHEAD_MS + best) + total
+
+    def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
+        anchor = self._anchor_matrix()
+        anchor_tid = self.acc_table[self.anchor_acc]
+        same_anchor = self.struct_table[:, None] == anchor_tid[None, :]
+        related = _related_mask(
+            self.struct_table, anchor_tid, self.acc_table, self.dim_pad
+        )
+        unservable = same_anchor & ~np.isfinite(anchor)
+        return related & ~unservable, unservable
+
+    def candidate_costs(self) -> np.ndarray:
+        best = np.minimum(self.base_path[None, :], self._anchor_matrix())
+        dim_term = (
+            np.minimum(self.acc_base_scan[None, :], self._index_access_matrix())
+            + self.acc_build_add[None, :]
+        )
+        total = _dim_sum_matrix(self.dim_pad, dim_term)
+        return (_row.QUERY_OVERHEAD_MS + best) + total
+
+
+class RowstoreKernel:
+    """Compiles and batch-prices the row-store (index/view) substrate."""
+
+    name = "rowstore"
+
+    def __init__(self, model):
+        self.model = model
+
+    def compile(self, profiles, structures) -> RowstoreBatch:
+        model = self.model
+        profiles = list(profiles)
+        structures = list(structures)
+        bits = _ColumnBits(model.schema)
+        table = _compile_accesses(profiles)
+        accesses = table.accesses
+
+        acc_table = np.array(
+            [bits.table_id(a.table) for a in accesses], dtype=np.int64
+        ).reshape(len(accesses))
+        acc_rows = np.array([float(a.row_count) for a in accesses], dtype=np.float64)
+        acc_row_bytes = np.array(
+            [float(a.row_bytes) for a in accesses], dtype=np.float64
+        )
+        acc_pred = np.array(
+            [float(a.predicate_count) for a in accesses], dtype=np.float64
+        )
+        acc_seek_add = np.zeros(len(accesses), dtype=np.float64)
+        acc_base_scan = np.zeros(len(accesses), dtype=np.float64)
+        acc_build_add = np.zeros(len(accesses), dtype=np.float64)
+        for i, access in enumerate(accesses):
+            acc_seek_add[i] = _row.SEEK_COST_MS * math.log2(max(access.row_count, 2))
+            acc_base_scan[i] = model._scan_cost(access)
+            rows = max(access.row_count * access.total_selectivity, 1.0)
+            acc_build_add[i] = rows * _row.JOIN_BUILD_COST_MS
+
+        is_view = np.array(
+            [isinstance(s, MaterializedView) for s in structures], dtype=bool
+        ).reshape(len(structures))
+        struct_table = np.array(
+            [bits.table_id(s.table) for s in structures], dtype=np.int64
+        ).reshape(len(structures))
+        key_bytes = np.zeros(len(structures), dtype=np.float64)
+        acc_mask = (
+            np.stack([bits.mask(a.table, a.needed_columns) for a in accesses])
+            if accesses
+            else np.zeros((0, bits.words), dtype=np.uint64)
+        )
+        index_mask = np.zeros((len(structures), bits.words), dtype=np.uint64)
+        for s, structure in enumerate(structures):
+            if is_view[s]:
+                continue
+            index_mask[s] = bits.mask(structure.table, structure.columns)
+            if struct_table[s] >= 0:
+                schema_table = model.schema.table(structure.table)
+                key_bytes[s] = float(
+                    sum(
+                        schema_table.column(c).type.byte_width
+                        for c in structure.columns
+                    )
+                )
+        covering = _covered(acc_mask, index_mask) & ~is_view[:, None]
+
+        # Fold seek depth + prefix selectivity per (index, access) pair.
+        seek_valid = np.zeros((len(structures), len(accesses)), dtype=bool)
+        seek_sel = np.ones((len(structures), len(accesses)), dtype=np.float64)
+        seek_depth = np.zeros((len(structures), len(accesses)), dtype=np.float64)
+        eq_maps = [a.eq_map for a in accesses]
+        range_maps = [a.range_map for a in accesses]
+        acc_by_table: dict[int, list[int]] = {}
+        for i, tid in enumerate(acc_table.tolist()):
+            acc_by_table.setdefault(tid, []).append(i)
+        for s, structure in enumerate(structures):
+            if is_view[s]:
+                continue
+            tid = bits.table_id(structure.table)
+            for a in acc_by_table.get(tid, ()):
+                eq, rng = eq_maps[a], range_maps[a]
+                depth, _used_range = structure.seek_prefix(set(eq), set(rng))
+                if depth == 0:
+                    continue
+                selectivity = 1.0
+                for name in structure.columns[:depth]:
+                    selectivity *= eq.get(name, rng.get(name, 1.0))
+                seek_valid[s, a] = True
+                seek_sel[s, a] = selectivity
+                seek_depth[s, a] = float(depth)
+
+        count = len(profiles)
+        base_path = np.zeros(count, dtype=np.float64)
+        post = np.zeros(count, dtype=np.float64)
+        for q, profile in enumerate(profiles):
+            post[q] = model._post_cost(profile)
+            base_path[q] = model._scan_cost(profile.anchor) + model._post_cost(profile)
+
+        # View rollup costs are per (view, query) through a log2 term, so
+        # they are folded pair-by-pair with the scalar helper itself.
+        view_cost = np.full((len(structures), count), np.inf, dtype=np.float64)
+        for s, structure in enumerate(structures):
+            if not is_view[s]:
+                continue
+            for q, profile in enumerate(profiles):
+                cost = model._view_cost(profile, structure)
+                if cost is not None:
+                    view_cost[s, q] = cost
+
+        return RowstoreBatch(
+            sqls=[p.sql for p in profiles],
+            words=bits.words,
+            struct_table=struct_table,
+            is_view=is_view,
+            key_bytes=key_bytes,
+            acc_table=acc_table,
+            acc_rows=acc_rows,
+            acc_row_bytes=acc_row_bytes,
+            acc_pred=acc_pred,
+            acc_seek_add=acc_seek_add,
+            acc_base_scan=acc_base_scan,
+            acc_build_add=acc_build_add,
+            seek_valid=seek_valid,
+            seek_sel=seek_sel,
+            seek_depth=seek_depth,
+            covering=covering,
+            anchor_acc=table.anchor_acc,
+            dim_pad=table.dim_pad,
+            base_path=base_path,
+            post=post,
+            view_cost=view_cost,
+        )
+
+
+# -- samples ----------------------------------------------------------------------
+
+
+@dataclass
+class SamplesBatch:
+    """Compiled (stratified samples × queries) batch."""
+
+    sqls: list[str]
+    words: int
+    struct_table: np.ndarray
+    sample_rows: np.ndarray  # (S,)
+    acc_table: np.ndarray  # anchor tables only (samples ignore dimensions)
+    anchor_acc: np.ndarray
+    dim_pad: np.ndarray
+    # per query (Q)
+    exact: np.ndarray
+    needed_bytes: np.ndarray
+    pred: np.ndarray
+    total_sel: np.ndarray
+    agg_flag: np.ndarray  # group_by or has_aggregates
+    # (S, Q)
+    valid: np.ndarray  # the full `answers` predicate
+
+    @property
+    def structure_count(self) -> int:
+        return int(self.struct_table.shape[0])
+
+    @property
+    def query_count(self) -> int:
+        return len(self.sqls)
+
+    def take(self, q_indices) -> "SamplesBatch":
+        idx = np.asarray(q_indices, dtype=np.intp)
+        return replace(
+            self,
+            sqls=[self.sqls[i] for i in idx],
+            anchor_acc=self.anchor_acc[idx],
+            dim_pad=self.dim_pad[idx],
+            exact=self.exact[idx],
+            needed_bytes=self.needed_bytes[idx],
+            pred=self.pred[idx],
+            total_sel=self.total_sel[idx],
+            agg_flag=self.agg_flag[idx],
+            valid=self.valid[:, idx],
+        )
+
+    def _sample_matrix(self) -> np.ndarray:
+        """(S, Q) sample scan cost, inf where the sample cannot answer."""
+        rows = self.sample_rows[:, None]
+        cost = (rows * self.needed_bytes[None, :]) * _smp.BYTE_COST_MS
+        cost = cost + (rows * self.pred[None, :]) * _smp.PREDICATE_COST_MS
+        filtered = np.maximum(rows * self.total_sel[None, :], 1.0)
+        cost = cost + np.where(
+            self.agg_flag[None, :], filtered * _smp.HASH_AGG_COST_MS, 0.0
+        )
+        return np.where(self.valid, cost, np.inf)
+
+    def base_costs(self) -> np.ndarray:
+        return _smp.QUERY_OVERHEAD_MS + self.exact
+
+    def design_costs(self, members=None) -> np.ndarray:
+        members = (
+            np.arange(self.structure_count, dtype=np.intp)
+            if members is None
+            else np.asarray(members, dtype=np.intp)
+        )
+        if members.size:
+            best = np.minimum(self.exact, self._sample_matrix()[members].min(axis=0))
+        else:
+            best = self.exact
+        return _smp.QUERY_OVERHEAD_MS + best
+
+    def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
+        anchor_tid = self.acc_table[self.anchor_acc]
+        same_anchor = self.struct_table[:, None] == anchor_tid[None, :]
+        return same_anchor & self.valid, same_anchor & ~self.valid
+
+    def candidate_costs(self) -> np.ndarray:
+        return _smp.QUERY_OVERHEAD_MS + np.minimum(
+            self.exact[None, :], self._sample_matrix()
+        )
+
+
+class SamplesKernel:
+    """Compiles and batch-prices the stratified-samples substrate."""
+
+    name = "samples"
+
+    def __init__(self, model):
+        self.model = model
+
+    def compile(self, profiles, structures) -> SamplesBatch:
+        model = self.model
+        profiles = list(profiles)
+        structures = list(structures)
+        bits = _ColumnBits(model.schema)
+        table = _compile_accesses(profiles)
+        accesses = table.accesses
+        acc_table = np.array(
+            [bits.table_id(a.table) for a in accesses], dtype=np.int64
+        ).reshape(len(accesses))
+
+        struct_table = np.array(
+            [bits.table_id(s.table) for s in structures], dtype=np.int64
+        ).reshape(len(structures))
+        sample_rows = np.zeros(len(structures), dtype=np.float64)
+        error_ok = np.zeros(len(structures), dtype=bool)
+        strata_mask = np.zeros((len(structures), bits.words), dtype=np.uint64)
+        for s, sample in enumerate(structures):
+            strata_mask[s] = bits.mask(sample.table, sample.strata_columns)
+            stats = model.statistics.get(sample.table)
+            if stats is None:
+                continue
+            sample_rows[s] = float(sample.sample_rows(stats))
+            error_ok[s] = sample.relative_error(stats) <= _smp.MAX_RELATIVE_ERROR
+
+        count = len(profiles)
+        exact = np.zeros(count, dtype=np.float64)
+        needed_bytes = np.zeros(count, dtype=np.float64)
+        pred = np.zeros(count, dtype=np.float64)
+        total_sel = np.zeros(count, dtype=np.float64)
+        agg_flag = np.zeros(count, dtype=bool)
+        answerable = np.zeros(count, dtype=bool)
+        depends_mask = np.zeros((count, bits.words), dtype=np.uint64)
+        for q, profile in enumerate(profiles):
+            access = profile.anchor
+            exact[q] = model.exact_cost(profile)
+            needed_bytes[q] = float(access.needed_bytes)
+            pred[q] = float(access.predicate_count)
+            total_sel[q] = access.total_selectivity
+            agg_flag[q] = bool(profile.group_by) or profile.has_aggregates
+            answerable[q] = (
+                not profile.dimensions
+                and profile.has_aggregates
+                and not any(agg.distinct for agg in profile.aggregates)
+            )
+            depends_mask[q] = bits.mask(
+                access.table, access.predicate_columns | set(profile.group_by)
+            )
+
+        anchor_tid = acc_table[table.anchor_acc]
+        valid = (
+            (struct_table[:, None] == anchor_tid[None, :])
+            & answerable[None, :]
+            & error_ok[:, None]
+            & _covered(depends_mask, strata_mask)
+        )
+
+        return SamplesBatch(
+            sqls=[p.sql for p in profiles],
+            words=bits.words,
+            struct_table=struct_table,
+            sample_rows=sample_rows,
+            acc_table=acc_table,
+            anchor_acc=table.anchor_acc,
+            dim_pad=table.dim_pad,
+            exact=exact,
+            needed_bytes=needed_bytes,
+            pred=pred,
+            total_sel=total_sel,
+            agg_flag=agg_flag,
+            valid=valid,
+        )
+
+
+# -- dispatch ---------------------------------------------------------------------
+
+
+def kernel_for(cost_model):
+    """The batch kernel matching ``cost_model``, or None (scalar path).
+
+    Dispatch is deliberately exact-type: a subclass may override cost
+    arithmetic the kernel would silently disagree with, and protocol
+    stubs (tests, foreign models) have no compiled form at all.
+    """
+    if type(cost_model) is _col.ColumnarCostModel:
+        return ColumnarKernel(cost_model)
+    if type(cost_model) is _row.RowstoreCostModel:
+        return RowstoreKernel(cost_model)
+    if type(cost_model) is _smp.SamplesCostModel:
+        return SamplesKernel(cost_model)
+    return None

@@ -1,0 +1,70 @@
+"""Bounded memoization for the engine cost models' per-pair caches.
+
+The three cost models memoize per-(query, structure) costs — columnar
+projection costs, rowstore structure costs, samples costs — in plain
+dicts.  Those memos are correct (keys are content: exact SQL text plus a
+frozen structure), but unbounded: a months-long ``scheduled_replay`` or
+monitor run prices an ever-growing set of (query, structure) pairs and
+the dicts grow with it.  :class:`BoundedMemo` is a drop-in replacement
+with the same access idiom (``in`` / ``[key]`` / ``[key] =``), an LRU
+bound, and evictions counted in the process-wide metrics registry —
+the same pattern as ``workload/distance.py``'s per-workload caches.
+
+Cached values include ``None`` ("this structure cannot serve this
+query"), so membership — not ``.get`` — is the read idiom.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.obs import get_metrics
+
+#: Default bound on one model's per-(query, structure) memo.  Sized like
+#: the service's query cache: large enough for a bench-scale candidate ×
+#: query working set, small enough to cap a months-long replay.
+DEFAULT_MEMO_ENTRIES = 262_144
+
+
+class BoundedMemo:
+    """LRU-bounded mapping with metrics-counted evictions.
+
+    Supports exactly the idiom the cost models use::
+
+        if key in memo:
+            return memo[key]
+        memo[key] = compute()
+
+    ``in`` does not refresh recency (it is always followed by ``[key]``,
+    which does).  Evictions increment ``counter_name`` in the
+    process-wide metrics registry.  Instances are picklable, so cost
+    models carrying one can still ship to process-backend workers.
+    """
+
+    def __init__(self, counter_name: str, max_entries: int = DEFAULT_MEMO_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.counter_name = counter_name
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __getitem__(self, key):
+        value = self._entries[key]
+        self._entries.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            get_metrics().counter(self.counter_name).inc()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -46,6 +46,9 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
+from repro.costing.kernel import kernel_for
 from repro.costing.report import WorkloadCostReport
 from repro.obs import MetricsRegistry, get_metrics, tracer
 from repro.parallel.backends import ExecutionBackend, ThreadBackend, resolve_backend
@@ -61,6 +64,10 @@ DEFAULT_MAX_WORKLOAD_ENTRIES = 4_096
 #: Designs whose fingerprints are memoized (they are hashable, so the
 #: digest only has to be computed once per distinct design).
 DEFAULT_MAX_FINGERPRINTS = 16_384
+#: Miss batches smaller than this stay on the scalar path: compiling the
+#: structure-of-arrays batch has fixed overhead that only pays off once a
+#: vectorized call amortizes it over enough (structure, query) pairs.
+KERNEL_MIN_BATCH = 8
 
 
 @runtime_checkable
@@ -149,6 +156,13 @@ class CostServiceStats:
     eval_seconds: float = 0.0
     #: Cache entries dropped by the LRU bound or explicit invalidation.
     evictions: int = 0
+    #: Vectorized kernel dispatches (one per compiled batch evaluation).
+    kernel_batch_calls: int = 0
+    #: (design, query) pairs priced by the vectorized kernel; these are a
+    #: subset of ``raw_model_calls`` (kernel-priced pairs still count as
+    #: raw evaluations — the kernel is an implementation of the model,
+    #: not a cache level).
+    kernel_pairs_priced: int = 0
 
     @property
     def query_misses(self) -> int:
@@ -180,6 +194,8 @@ class CostServiceStats:
             dedup_saved=self.dedup_saved,
             eval_seconds=self.eval_seconds,
             evictions=self.evictions,
+            kernel_batch_calls=self.kernel_batch_calls,
+            kernel_pairs_priced=self.kernel_pairs_priced,
         )
 
     def since(self, earlier: "CostServiceStats") -> "CostServiceStats":
@@ -193,6 +209,8 @@ class CostServiceStats:
             dedup_saved=self.dedup_saved - earlier.dedup_saved,
             eval_seconds=self.eval_seconds - earlier.eval_seconds,
             evictions=self.evictions - earlier.evictions,
+            kernel_batch_calls=self.kernel_batch_calls - earlier.kernel_batch_calls,
+            kernel_pairs_priced=self.kernel_pairs_priced - earlier.kernel_pairs_priced,
         )
 
     def rows(self) -> list[list[object]]:
@@ -208,6 +226,8 @@ class CostServiceStats:
             ["workload-aggregate hits", self.workload_hits],
             ["evaluation wall-time (s)", self.eval_seconds],
             ["cache evictions", self.evictions],
+            ["kernel batch dispatches", self.kernel_batch_calls],
+            ["kernel-priced pairs", self.kernel_pairs_priced],
         ]
 
 
@@ -252,6 +272,9 @@ class CostEvaluationService:
         self.backend = resolve_backend(backend, jobs=jobs)
         if self.backend is None and max_workers is not None:
             self.backend = ThreadBackend(jobs=max_workers)
+        #: Vectorized batch kernel for the model, or None (scalar path).
+        #: Dispatch is exact-type; stubs and subclasses stay scalar.
+        self.kernel = kernel_for(cost_model)
         self.stats = CostServiceStats()
         #: (design_fp, sql) -> cost, LRU-ordered (oldest first).
         self._query_cache: OrderedDict[tuple[str, str], float] = OrderedDict()
@@ -506,20 +529,36 @@ class CostEvaluationService:
         registry.gauge("costing.cached_workload_entries").set(
             self.cached_workload_entries
         )
+        registry.gauge("costing.kernel.batch_calls").set(self.stats.kernel_batch_calls)
+        registry.gauge("costing.kernel.pairs_priced").set(
+            self.stats.kernel_pairs_priced
+        )
 
     def _fill_misses(self, design, design_fp: str, misses: list[str]) -> None:
         """Cost the uncached SQL texts for one design (optionally fanned
         out over the execution backend).
 
-        Workers are pure: they return per-chunk cost lists and never touch
-        the cache or the counters.  The parent merges chunk results in
-        chunk order — chunks are ordered contiguous slices of ``misses``,
-        so cache insertion order and every counter match the serial path
-        exactly.
+        Large miss batches go through the vectorized kernel: the profiles
+        and the design's structures are compiled into structure-of-arrays
+        form once and every miss is priced in a handful of numpy ops.
+        When a backend is attached, workers receive compiled array slices
+        (``batch.take``), not per-call Python objects.  Kernel results are
+        bit-identical to the scalar path at any chunking (every kernel op
+        is element-wise or a per-query reduction), so cache contents and
+        counters never depend on the backend.
+
+        Scalar workers are pure: they return per-chunk cost lists and
+        never touch the cache or the counters.  The parent merges chunk
+        results in chunk order — chunks are ordered contiguous slices of
+        ``misses``, so cache insertion order and every counter match the
+        serial path exactly.
         """
         if not misses:
             return
         t = tracer()
+        if self.kernel is not None and len(misses) >= KERNEL_MIN_BATCH:
+            self._fill_misses_kernel(design, design_fp, misses)
+            return
         if self.backend is None or len(misses) < 2:
             if t.enabled:
                 t.emit(
@@ -549,6 +588,249 @@ class CostEvaluationService:
             for sql, cost in zip(chunk, costs):
                 self.stats.raw_model_calls += 1
                 self._remember_query((design_fp, sql), cost)
+
+    def _fill_misses_kernel(self, design, design_fp: str, misses: list[str]) -> None:
+        """Vectorized miss fill: one compile, one (or chunked) batch eval."""
+        t = tracer()
+        inline = self.backend is None or len(misses) < 2
+        if t.enabled:
+            # Same contract as the scalar path: every miss fill emits one
+            # cache_fill, whatever engine prices it.
+            t.emit(
+                "cache_fill",
+                design=design_fp,
+                misses=len(misses),
+                backend="inline" if inline else self.backend.name,
+                chunks=1 if inline else chunk_count(len(misses), self.backend.jobs),
+            )
+        profiles = [self.cost_model.profile(sql) for sql in misses]
+        batch = self.kernel.compile(profiles, list(design))
+        if t.enabled:
+            t.emit(
+                "kernel_compile",
+                substrate=self.kernel.name,
+                queries=batch.query_count,
+                structures=batch.structure_count,
+                words=batch.words,
+            )
+        if self.backend is None or len(misses) < 2:
+            costs = [float(c) for c in batch.design_costs()]
+        else:
+            indices = list(range(len(misses)))
+            chunks = contiguous_chunks(
+                indices, chunk_count(len(misses), self.backend.jobs)
+            )
+            tasks = [(batch.take(chunk),) for chunk in chunks]
+            per_chunk = self.backend.map(_evaluate_kernel_chunk, tasks)
+            costs = [cost for chunk_costs in per_chunk for cost in chunk_costs]
+        for sql, cost in zip(misses, costs):
+            self.stats.raw_model_calls += 1
+            self._remember_query((design_fp, sql), cost)
+        self.stats.kernel_batch_calls += 1
+        self.stats.kernel_pairs_priced += len(misses)
+        if t.enabled:
+            t.emit(
+                "kernel_batch",
+                substrate=self.kernel.name,
+                design=design_fp,
+                pairs=len(misses),
+                structures=batch.structure_count,
+            )
+
+    # -- batched design sweeps ---------------------------------------------------------
+
+    def workload_costs_batch(self, designs: Sequence, workload) -> list[WorkloadCostReport]:
+        """Cost one workload under many designs as matrix reductions.
+
+        This is the neighborhood-exploration shape of the paper's
+        Algorithm 4 turned sideways: the query axis is fixed, the design
+        axis fans out.  The structures of *all* designs are compiled into
+        one structure-of-arrays batch; each design's costs are then a
+        masked min-reduction over its member rows.  Caches and counters
+        behave exactly as if :meth:`workload_cost` had been called once
+        per design in order — cached designs are served without touching
+        the kernel, and duplicate designs hit the entries their first
+        occurrence filled.
+        """
+        with _Timer(self.stats):
+            materialized = list(workload)
+            sqls: list[str] = []
+            weights: list[float] = []
+            for query in materialized:
+                if isinstance(query, str):
+                    sqls.append(query)
+                    weights.append(1.0)
+                else:
+                    sqls.append(query.sql)
+                    weights.append(float(query.frequency))
+            workload_fp = workload_fingerprint(materialized)
+            unique = list(dict.fromkeys(sqls))
+            designs = list(designs)
+            batch = None
+            row_of: dict = {}
+            q_index: dict[str, int] = {}
+            reports: list[WorkloadCostReport] = []
+            t = tracer()
+            for design in designs:
+                design_fp = self.design_fingerprint(design)
+                self.stats.workload_requests += 1
+                key = (design_fp, workload_fp)
+                cached = self._workload_cache.get(key)
+                if cached is not None:
+                    self.stats.workload_hits += 1
+                    self._workload_cache.move_to_end(key)
+                    reports.append(cached)
+                    continue
+                self.stats.dedup_saved += len(sqls) - len(unique)
+                self.stats.query_requests += len(unique)
+                misses = [
+                    sql for sql in unique if (design_fp, sql) not in self._query_cache
+                ]
+                self.stats.query_hits += len(unique) - len(misses)
+                if self.kernel is None or len(misses) < KERNEL_MIN_BATCH:
+                    self._fill_misses(design, design_fp, misses)
+                elif misses:
+                    if batch is None:
+                        # One compile covers every design: the union of all
+                        # structures, with per-design membership rows.
+                        structures = list(
+                            dict.fromkeys(s for d in designs for s in d)
+                        )
+                        row_of = {s: i for i, s in enumerate(structures)}
+                        profiles = [self.cost_model.profile(sql) for sql in unique]
+                        batch = self.kernel.compile(profiles, structures)
+                        q_index = {sql: i for i, sql in enumerate(unique)}
+                        if t.enabled:
+                            t.emit(
+                                "kernel_compile",
+                                substrate=self.kernel.name,
+                                queries=batch.query_count,
+                                structures=batch.structure_count,
+                                words=batch.words,
+                            )
+                    members = [row_of[s] for s in design]
+                    costs = batch.design_costs(members)
+                    for sql in misses:
+                        self.stats.raw_model_calls += 1
+                        self._remember_query(
+                            (design_fp, sql), float(costs[q_index[sql]])
+                        )
+                    self.stats.kernel_batch_calls += 1
+                    self.stats.kernel_pairs_priced += len(misses)
+                    if t.enabled:
+                        t.emit(
+                            "kernel_batch",
+                            substrate=self.kernel.name,
+                            design=design_fp,
+                            pairs=len(misses),
+                            structures=len(members),
+                        )
+                per_query = [
+                    self._cached_cost(design_fp, sql, design) for sql in sqls
+                ]
+                report = WorkloadCostReport(
+                    per_query_ms=per_query, weights=list(weights)
+                )
+                self._remember_workload(key, report)
+                reports.append(report)
+            return reports
+
+    def candidate_costs(self, profiles: Sequence, candidates: Sequence, make_design):
+        """``(base_costs, matrix)`` for greedy candidate selection.
+
+        One kernel compile prices the full (candidates × queries) matrix;
+        the per-(single-structure design, query) cache is consulted first
+        and filled with every newly priced cell, so a designer re-run on
+        overlapping candidates reuses prior pricing.  Cells whose
+        candidate is unrelated to the query keep the base cost without
+        being priced, counted, or cached (an off-table structure cannot
+        change any access path); anchor-table candidates that cannot
+        serve the query are ``inf``, exactly like the scalar designer.
+        """
+        if self.kernel is None:
+            raise RuntimeError(
+                "candidate_costs requires a vectorized kernel; "
+                "this cost model only supports the scalar path"
+            )
+        with _Timer(self.stats):
+            profiles = list(profiles)
+            candidates = list(candidates)
+            sqls = [p.sql for p in profiles]
+            empty_fp = self.design_fingerprint(make_design([]))
+            batch = self.kernel.compile(profiles, candidates)
+            t = tracer()
+            if t.enabled:
+                t.emit(
+                    "kernel_compile",
+                    substrate=self.kernel.name,
+                    queries=batch.query_count,
+                    structures=batch.structure_count,
+                    words=batch.words,
+                )
+            base = np.zeros(len(profiles), dtype=np.float64)
+            base_misses: list[int] = []
+            self.stats.query_requests += len(sqls)
+            for q, sql in enumerate(sqls):
+                cached = self._query_cache.get((empty_fp, sql))
+                if cached is not None:
+                    self.stats.query_hits += 1
+                    self._query_cache.move_to_end((empty_fp, sql))
+                    base[q] = cached
+                else:
+                    base_misses.append(q)
+            if base_misses:
+                fresh = batch.base_costs()
+                for q in base_misses:
+                    cost = float(fresh[q])
+                    base[q] = cost
+                    self.stats.raw_model_calls += 1
+                    self._remember_query((empty_fp, sqls[q]), cost)
+            price, unservable = batch.candidate_frame()
+            matrix = np.where(unservable, np.inf, base[None, :])
+            fps = [self.design_fingerprint(make_design([c])) for c in candidates]
+            cell_misses: list[tuple[int, int]] = []
+            hits = 0
+            for c in range(len(candidates)):
+                fp = fps[c]
+                for q in np.nonzero(price[c])[0].tolist():
+                    cached = self._query_cache.get((fp, sqls[q]))
+                    if cached is not None:
+                        self._query_cache.move_to_end((fp, sqls[q]))
+                        matrix[c, q] = cached
+                        hits += 1
+                    else:
+                        cell_misses.append((c, q))
+            self.stats.query_requests += int(price.sum())
+            self.stats.query_hits += hits
+            if cell_misses:
+                numeric = batch.candidate_costs()
+                for c, q in cell_misses:
+                    cost = float(numeric[c, q])
+                    matrix[c, q] = cost
+                    self.stats.raw_model_calls += 1
+                    self._remember_query((fps[c], sqls[q]), cost)
+            self.stats.kernel_batch_calls += 1
+            self.stats.kernel_pairs_priced += len(base_misses) + len(cell_misses)
+            if t.enabled:
+                t.emit(
+                    "kernel_batch",
+                    substrate=self.kernel.name,
+                    queries=batch.query_count,
+                    structures=batch.structure_count,
+                    pairs=len(base_misses) + len(cell_misses),
+                )
+            return base, matrix
+
+
+def _evaluate_kernel_chunk(task) -> list[float]:
+    """Worker body for one compiled-batch chunk of cache misses.
+
+    The task ships a pre-compiled array slice (``batch.take``), so process
+    workers never re-profile queries or touch cost-model objects; like the
+    scalar worker it returns raw costs only.
+    """
+    (batch,) = task
+    return [float(cost) for cost in batch.design_costs()]
 
 
 def _evaluate_cost_chunk(task) -> list[float]:

@@ -129,6 +129,10 @@ class DesignAdapter(abc.ABC):
         """Batched ``designs × workloads`` reports with shared-query dedup."""
         return self.costing.evaluate_neighborhood(designs, workloads)
 
+    def workload_costs_batch(self, designs, workload) -> list[WorkloadCostReport]:
+        """One workload under many designs, vectorized when possible."""
+        return self.costing.workload_costs_batch(designs, workload)
+
 
 class ColumnarAdapter(DesignAdapter):
     """Adapter for the Vertica-like columnar engine."""

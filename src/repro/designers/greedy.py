@@ -45,6 +45,11 @@ def evaluate_candidates(
     Queries that do not parse or reference unknown tables are skipped (the
     paper's trace had a large such fraction); they cannot benefit from any
     design and would only add a constant to every column of the matrix.
+
+    When the costing service has a vectorized kernel for the adapter's
+    model, the whole (candidates × queries) matrix is priced in a handful
+    of numpy ops (see :mod:`repro.costing.kernel`); the scalar loop below
+    is the reference path and stays bit-identical to it.
     """
     collapsed = workload.collapsed()
     sqls: list[str] = []
@@ -58,18 +63,29 @@ def evaluate_candidates(
         sqls.append(query.sql)
         weights.append(query.frequency)
 
-    empty = adapter.empty_design()
-    base = np.array(
-        [adapter.query_cost(p, empty) for p in profiles], dtype=np.float64
-    )
-    matrix = np.full((len(candidates), len(profiles)), np.inf)
-    for c, candidate in enumerate(candidates):
-        single = adapter.make_design([candidate])
-        for q, profile in enumerate(profiles):
-            anchor_only = adapter.structure_cost(profile, candidate)
-            if anchor_only is None and profile.anchor.table == candidate.table:
-                continue  # cannot serve this query at all
-            matrix[c, q] = adapter.query_cost(profile, single)
+    service = adapter.costing
+    if profiles and candidates and getattr(service, "kernel", None) is not None:
+        base, matrix = service.candidate_costs(
+            profiles, candidates, adapter.make_design
+        )
+    else:
+        empty = adapter.empty_design()
+        base = np.array(
+            [adapter.query_cost(p, empty) for p in profiles], dtype=np.float64
+        )
+        matrix = np.full((len(candidates), len(profiles)), np.inf)
+        for c, candidate in enumerate(candidates):
+            single = adapter.make_design([candidate])
+            for q, profile in enumerate(profiles):
+                if all(candidate.table != t.table for t in profile.tables):
+                    # A structure on a table the query never touches cannot
+                    # change any access path: the cost is the base cost.
+                    matrix[c, q] = base[q]
+                    continue
+                anchor_only = adapter.structure_cost(profile, candidate)
+                if anchor_only is None and profile.anchor.table == candidate.table:
+                    continue  # cannot serve this query at all
+                matrix[c, q] = adapter.query_cost(profile, single)
     sizes = np.array([adapter.structure_size(c) for c in candidates], dtype=np.float64)
     return CandidateEvaluation(
         candidates=candidates,

@@ -28,6 +28,7 @@ import math
 
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import TableStatistics
+from repro.costing.memo import BoundedMemo
 from repro.costing.profile import QueryProfile, QueryProfiler, TableAccess, resolve_column
 from repro.costing.report import WorkloadCostReport
 from repro.engine.design import PhysicalDesign
@@ -79,7 +80,11 @@ class ColumnarCostModel:
         self._super: dict[str, Projection] = {
             name: super_projection(table) for name, table in schema.tables.items()
         }
-        self._projection_costs: dict[tuple[str, Projection], float | None] = {}
+        # Bounded LRU: a long replay prices an unbounded stream of
+        # (query, projection) pairs; evictions are metrics-counted.
+        self._projection_costs: BoundedMemo = BoundedMemo(
+            "costing.memo_evictions.columnar_projection"
+        )
 
     def profile(self, sql: str) -> QueryProfile:
         """Parse and annotate ``sql`` (cached by exact text)."""

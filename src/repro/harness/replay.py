@@ -39,20 +39,40 @@ def beneficial_queries(
     method (a nominal designer); the ideal cost of a query is its best cost
     across the candidates generated for that query alone.
     """
-    kept: list[WorkloadQuery] = []
+    parseable: list[tuple[WorkloadQuery, object]] = []
     for query in workload.collapsed():
         try:
             profile = adapter.profile(query.sql)
         except ValueError:
             continue
-        base = adapter.query_cost(profile, adapter.empty_design())
+        parseable.append((query, profile))
+    if not parseable:
+        return Workload([])
+    # One batched sweep prices every base cost (vectorized when the
+    # costing service has a kernel for this substrate); the per-query
+    # candidate matrices below reuse the same compiled machinery.
+    (base_report,) = adapter.workload_costs_batch(
+        [adapter.empty_design()], [query.sql for query, _ in parseable]
+    )
+    service = adapter.costing
+    kernel = getattr(service, "kernel", None)
+    kept: list[WorkloadQuery] = []
+    for (query, profile), base in zip(parseable, base_report.per_query_ms):
         candidates = candidate_source.generate_candidates(Workload([query]))
-        best = base
-        for candidate in candidates:
-            single = adapter.make_design([candidate])
-            cost = adapter.query_cost(profile, single)
-            if cost < best:
-                best = cost
+        if kernel is not None and candidates:
+            _, matrix = service.candidate_costs(
+                [profile], candidates, adapter.make_design
+            )
+            # Unservable cells are inf and off-table cells equal the base
+            # cost, so folding in ``base`` reproduces the scalar minimum.
+            best = min(base, float(matrix[:, 0].min()))
+        else:
+            best = base
+            for candidate in candidates:
+                single = adapter.make_design([candidate])
+                cost = adapter.query_cost(profile, single)
+                if cost < best:
+                    best = cost
         if best > 0 and base / best >= factor:
             kept.append(query)
     return Workload(kept)

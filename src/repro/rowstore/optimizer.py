@@ -20,6 +20,7 @@ import math
 
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import TableStatistics
+from repro.costing.memo import BoundedMemo
 from repro.costing.profile import QueryProfile, QueryProfiler, TableAccess
 from repro.costing.report import WorkloadCostReport
 from repro.rowstore.design import RowstoreDesign
@@ -61,7 +62,11 @@ class RowstoreCostModel:
             for name, table in schema.tables.items()
         }
         self.profiler = QueryProfiler(schema, self.statistics)
-        self._structure_costs: dict[tuple[str, object], float | None] = {}
+        # Bounded LRU: a long replay prices an unbounded stream of
+        # (query, structure) pairs; evictions are metrics-counted.
+        self._structure_costs: BoundedMemo = BoundedMemo(
+            "costing.memo_evictions.rowstore_structure"
+        )
 
     def profile(self, sql: str) -> QueryProfile:
         """Parse and annotate ``sql`` (cached by exact text)."""

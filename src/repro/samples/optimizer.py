@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.catalog.schema import Schema
 from repro.catalog.statistics import TableStatistics
+from repro.costing.memo import BoundedMemo
 from repro.costing.profile import QueryProfile, QueryProfiler
 from repro.costing.report import WorkloadCostReport
 from repro.samples.design import SampleDesign, StratifiedSample
@@ -44,7 +45,11 @@ class SamplesCostModel:
             for name, table in schema.tables.items()
         }
         self.profiler = QueryProfiler(schema, self.statistics)
-        self._sample_costs: dict[tuple[str, StratifiedSample], float | None] = {}
+        # Bounded LRU: a long replay prices an unbounded stream of
+        # (query, sample) pairs; evictions are metrics-counted.
+        self._sample_costs: BoundedMemo = BoundedMemo(
+            "costing.memo_evictions.samples_sample"
+        )
 
     def profile(self, sql: str) -> QueryProfile:
         """Parse and annotate ``sql`` (cached by exact text)."""

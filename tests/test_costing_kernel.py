@@ -1,0 +1,427 @@
+"""Bit-identity tests for the vectorized what-if costing kernel.
+
+The kernel's contract (see :mod:`repro.costing.kernel`) is exact
+agreement with the scalar cost models — tolerance zero, on all three
+substrates, for base costs, design costs, candidate matrices, and the
+batched design sweep.  The property-based tests below draw random
+workloads and designs and assert ``==`` on every float, never closeness.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.costing.kernel import kernel_for
+from repro.costing.memo import BoundedMemo
+from repro.costing.service import KERNEL_MIN_BATCH, CostEvaluationService
+from repro.designers.base import ColumnarAdapter, RowstoreAdapter, SamplesAdapter
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.greedy import evaluate_candidates
+from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+from repro.designers.samples_nominal import SamplesNominalDesigner
+from repro.engine.optimizer import ColumnarCostModel
+from repro.obs import MetricsRegistry, RunTracer, set_tracer
+from repro.parallel.backends import ThreadBackend
+from repro.rowstore.optimizer import RowstoreCostModel
+from repro.samples.design import StratifiedSample
+from repro.samples.optimizer import SamplesCostModel
+from repro.workload.generator import TraceGenerator, build_star_schema, r1_profile
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+SUBSTRATES = ("columnar", "rowstore", "samples")
+
+
+@lru_cache(maxsize=1)
+def _environment():
+    """A small star schema plus a pool of distinct trace queries."""
+    schema, roles = build_star_schema(
+        fact_tables=2,
+        fact_rows=200_000,
+        fact_attributes=10,
+        legacy_tables=2,
+        legacy_columns=3,
+        seed=7,
+    )
+    profile = r1_profile(queries_per_day=6, topic_count=2, templates_per_topic=3)
+    trace = TraceGenerator(schema, roles, profile, seed=9).generate(days=30)
+    sqls = list(dict.fromkeys(q.sql for q in trace))[:14]
+    assert len(sqls) >= 6
+    return schema, sqls
+
+
+@lru_cache(maxsize=None)
+def _substrate(name: str):
+    """(cost_model, candidate structures, profiles) per engine.
+
+    The cost model and candidates are shared across hypothesis examples —
+    the models are deterministic, so sharing only speeds the tests up.
+    Adapters/services are built fresh per test so caches never leak.
+    """
+    schema, sqls = _environment()
+    if name == "columnar":
+        model = ColumnarCostModel(schema)
+        nominal = ColumnarNominalDesigner(ColumnarAdapter(model))
+    elif name == "rowstore":
+        model = RowstoreCostModel(schema)
+        nominal = RowstoreNominalDesigner(RowstoreAdapter(model))
+    else:
+        model = SamplesCostModel(schema)
+        nominal = SamplesNominalDesigner(SamplesAdapter(model))
+    candidates = nominal.generate_candidates(Workload.from_sql(sqls))[:10]
+    profiles = [model.profile(sql) for sql in sqls]
+    return model, candidates, profiles
+
+
+def _adapter(model):
+    """A fresh adapter (own service, own caches) over a shared model."""
+    service = CostEvaluationService(model)
+    if isinstance(model, ColumnarCostModel):
+        return ColumnarAdapter(model, costing=service)
+    if isinstance(model, RowstoreCostModel):
+        return RowstoreAdapter(model, costing=service)
+    return SamplesAdapter(model, costing=service)
+
+
+def _workload(sqls: list[str], picks: list[int], weights: list[int]) -> Workload:
+    return Workload(
+        WorkloadQuery(sql=sqls[i % len(sqls)], frequency=float(w))
+        for i, w in zip(picks, weights)
+    )
+
+
+# -- kernel batch objects vs the scalar model -------------------------------------
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    substrate=st.sampled_from(SUBSTRATES),
+    mask=st.integers(0, 1023),
+    q_mask=st.integers(1, (1 << 14) - 1),
+)
+def test_kernel_design_costs_match_scalar_exactly(substrate, mask, q_mask):
+    """``base_costs``/``design_costs`` equal the scalar model bit-for-bit."""
+    model, candidates, profiles = _substrate(substrate)
+    adapter = _adapter(model)
+    kernel = kernel_for(model)
+    assert kernel is not None
+    chosen_profiles = [p for i, p in enumerate(profiles) if q_mask & (1 << i)]
+    structures = [c for i, c in enumerate(candidates) if mask & (1 << i)]
+    batch = kernel.compile(chosen_profiles, structures)
+
+    empty = adapter.make_design([])
+    design = adapter.make_design(structures)
+    scalar_base = [model.query_cost(p, empty) for p in chosen_profiles]
+    scalar_design = [model.query_cost(p, design) for p in chosen_profiles]
+    assert batch.base_costs().tolist() == scalar_base
+    assert batch.design_costs().tolist() == scalar_design
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(substrate=st.sampled_from(SUBSTRATES), q_mask=st.integers(1, (1 << 14) - 1))
+def test_kernel_candidate_matrix_matches_greedy_scalar(substrate, q_mask):
+    """The kernel candidate frame reproduces greedy's scalar matrix exactly:
+    unservable same-table pairs are ``inf``, off-table pairs equal the base
+    cost, and every priced pair equals ``query_cost`` under the singleton
+    design."""
+    model, candidates, profiles = _substrate(substrate)
+    adapter = _adapter(model)
+    kernel = kernel_for(model)
+    chosen = [p for i, p in enumerate(profiles) if q_mask & (1 << i)]
+    batch = kernel.compile(chosen, candidates)
+
+    price, unservable = batch.candidate_frame()
+    base = batch.base_costs()
+    matrix = np.where(unservable, np.inf, np.broadcast_to(base, price.shape))
+    numeric = batch.candidate_costs()
+    matrix = np.where(price, numeric, matrix)
+
+    for c, candidate in enumerate(candidates):
+        single = adapter.make_design([candidate])
+        for q, profile in enumerate(chosen):
+            if all(candidate.table != t.table for t in profile.tables):
+                expected = base[q]  # off-table: cost cannot change
+            else:
+                anchor_only = adapter.structure_cost(profile, candidate)
+                if anchor_only is None and profile.anchor.table == candidate.table:
+                    expected = np.inf  # greedy leaves unservable pairs at inf
+                else:
+                    expected = model.query_cost(profile, single)
+            assert matrix[c, q] == expected, (substrate, c, q)
+
+
+# -- evaluate_candidates: kernel path vs forced-scalar path ------------------------
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_evaluate_candidates_kernel_equals_scalar(substrate):
+    """``designers.greedy.evaluate_candidates`` returns the same arrays
+    whether the costing service dispatches the kernel or the scalar loop."""
+    model, candidates, _ = _substrate(substrate)
+    _, sqls = _environment()
+    workload = Workload.from_sql(sqls)
+
+    with_kernel = _adapter(model)
+    evaluation = evaluate_candidates(with_kernel, workload, candidates)
+
+    forced_scalar = _adapter(model)
+    forced_scalar.costing.kernel = None
+    reference = evaluate_candidates(forced_scalar, workload, candidates)
+
+    assert np.array_equal(evaluation.base_costs, reference.base_costs)
+    assert np.array_equal(evaluation.matrix, reference.matrix)
+    assert np.array_equal(evaluation.weights, reference.weights)
+    assert np.array_equal(evaluation.sizes, reference.sizes)
+    # The kernel only dispatches a batch when servable (candidate, query)
+    # pairs exist; the samples pool may have none (star-join queries are
+    # not sample-answerable), in which case only base costs are priced.
+    price, _ = kernel_for(model).compile(
+        [model.profile(sql) for sql in sqls], candidates
+    ).candidate_frame()
+    if price.any():
+        assert with_kernel.costing.stats.kernel_batch_calls >= 1
+    assert forced_scalar.costing.stats.kernel_batch_calls == 0
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_off_table_skip_preserves_scalar_matrix(substrate):
+    """Regression for the off-table fast path: the scalar loop's reuse of
+    ``base_costs[q]`` must equal actually pricing the singleton design."""
+    model, shared, profiles = _substrate(substrate)
+    schema, sqls = _environment()
+    adapter = _adapter(model)
+    adapter.costing.kernel = None
+    # Guarantee at least one candidate on a table no query touches.
+    used = {t.table for p in profiles for t in p.tables}
+    unused = sorted(set(schema.tables) - used)
+    assert unused, "environment must have an untouched table"
+    spare, column = unused[0], schema.table(unused[0]).column_names[0]
+    if substrate == "columnar":
+        from repro.engine.projection import Projection, SortColumn
+
+        extra = Projection(
+            table=spare, columns=(column,), sort_columns=(SortColumn(column),)
+        )
+    elif substrate == "rowstore":
+        from repro.rowstore.index import Index
+
+        extra = Index(table=spare, columns=(column,))
+    else:
+        extra = StratifiedSample(table=spare, strata_columns=(column,), fraction=0.01)
+    candidates = list(shared) + [extra]
+    evaluation = evaluate_candidates(adapter, Workload.from_sql(sqls), candidates)
+    checked = 0
+    for c, candidate in enumerate(candidates):
+        single = adapter.make_design([candidate])
+        for q, profile in enumerate(profiles):
+            if all(candidate.table != t.table for t in profile.tables):
+                assert evaluation.matrix[c, q] == model.query_cost(profile, single)
+                checked += 1
+    assert checked > 0  # the pool must actually exercise the fast path
+
+
+# -- workload_costs_batch ----------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    substrate=st.sampled_from(SUBSTRATES),
+    masks=st.lists(st.integers(0, 1023), min_size=1, max_size=5),
+    picks=st.lists(st.integers(0, 13), min_size=1, max_size=10),
+    weights=st.lists(st.integers(1, 9), min_size=10, max_size=10),
+)
+def test_workload_costs_batch_matches_sequential(substrate, masks, picks, weights):
+    """One workload under many designs equals per-design ``workload_cost``
+    on a scalar-only service — including duplicate and empty designs."""
+    model, candidates, _ = _substrate(substrate)
+    _, sqls = _environment()
+    workload = _workload(sqls, picks, weights)
+    batched = _adapter(model)
+    reference = _adapter(model)
+    reference.costing.kernel = None
+
+    designs = [
+        batched.make_design([c for i, c in enumerate(candidates) if m & (1 << i)])
+        for m in masks
+    ]
+    designs.append(batched.make_design([]))
+    designs.append(designs[0])  # duplicate design: served from cache
+
+    reports = batched.workload_costs_batch(designs, workload)
+    assert len(reports) == len(designs)
+    for design, report in zip(designs, reports):
+        expected = reference.costing.workload_cost(workload, design)
+        assert report.per_query_ms == expected.per_query_ms
+        assert report.weights == expected.weights
+
+
+# -- edge cases --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_empty_workload_and_zero_candidates(substrate):
+    """Degenerate shapes: no queries, no candidates, no structures."""
+    model, candidates, profiles = _substrate(substrate)
+    adapter = _adapter(model)
+    kernel = kernel_for(model)
+
+    empty_q = kernel.compile([], candidates)
+    assert empty_q.base_costs().shape == (0,)
+    assert empty_q.design_costs().shape == (0,)
+    assert empty_q.candidate_costs().shape == (len(candidates), 0)
+
+    no_cands = kernel.compile(profiles, [])
+    assert no_cands.candidate_costs().shape == (0, len(profiles))
+    expected = [model.query_cost(p, adapter.make_design([])) for p in profiles]
+    assert no_cands.design_costs().tolist() == expected
+
+    evaluation = evaluate_candidates(adapter, Workload([]), candidates)
+    assert evaluation.matrix.shape == (len(candidates), 0)
+    reports = adapter.workload_costs_batch([adapter.make_design([])], [])
+    assert reports[0].per_query_ms == []
+
+
+def test_all_uncoverable_candidates_price_as_scalar():
+    """A sample stratified on nothing a query depends on serves no query:
+    every same-table cell is inf, exactly as the scalar greedy loop."""
+    schema, sqls = _environment()
+    model = SamplesCostModel(schema)
+    adapter = _adapter(model)
+    tables = sorted(schema.tables)
+    useless = [
+        StratifiedSample(
+            table=name,
+            strata_columns=(schema.table(name).column_names[0],),
+            fraction=1e-6,
+        )
+        for name in tables
+    ]
+    evaluation = evaluate_candidates(adapter, Workload.from_sql(sqls), useless)
+    reference = _adapter(model)
+    reference.costing.kernel = None
+    scalar = evaluate_candidates(reference, Workload.from_sql(sqls), useless)
+    assert np.array_equal(evaluation.matrix, scalar.matrix)
+    assert np.array_equal(evaluation.base_costs, scalar.base_costs)
+
+
+# -- service dispatch, counters, backends, events ----------------------------------
+
+
+def test_small_miss_batches_stay_on_scalar_path():
+    """Fewer than KERNEL_MIN_BATCH misses never dispatch the kernel, so
+    exact raw-call counter tests keep their meaning."""
+    model, candidates, _ = _substrate("columnar")
+    _, sqls = _environment()
+    service = CostEvaluationService(model)
+    design = ColumnarAdapter(model, costing=service).make_design(candidates[:2])
+    few = sqls[: KERNEL_MIN_BATCH - 1]
+    service.evaluate_neighborhood([design], [Workload.from_sql(few)])
+    assert service.stats.kernel_batch_calls == 0
+    assert service.stats.raw_model_calls == len(few)
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_thread_backend_kernel_fill_bit_identical(substrate):
+    """Chunked kernel evaluation over a backend matches the serial fill —
+    values and every counter."""
+    model, candidates, _ = _substrate(substrate)
+    _, sqls = _environment()
+    workload = Workload.from_sql(sqls)
+    designs = [
+        _adapter(model).make_design(candidates[:3]),
+        _adapter(model).make_design(candidates[3:7]),
+    ]
+
+    serial = CostEvaluationService(model)
+    threaded = CostEvaluationService(model, backend=ThreadBackend(jobs=3))
+    expected = serial.evaluate_neighborhood(designs, [workload])
+    actual = threaded.evaluate_neighborhood(designs, [workload])
+    for row_a, row_b in zip(expected, actual):
+        for rep_a, rep_b in zip(row_a, row_b):
+            assert rep_a.per_query_ms == rep_b.per_query_ms
+    assert serial.stats.kernel_batch_calls == threaded.stats.kernel_batch_calls
+    assert serial.stats.kernel_pairs_priced == threaded.stats.kernel_pairs_priced
+    assert serial.stats.raw_model_calls == threaded.stats.raw_model_calls
+
+
+def test_kernel_events_and_counters_emitted():
+    """Kernel dispatch emits kernel_compile/kernel_batch trace events and
+    bumps the kernel counters."""
+    model, candidates, _ = _substrate("columnar")
+    _, sqls = _environment()
+    service = CostEvaluationService(model)
+    design = ColumnarAdapter(model, costing=service).make_design(candidates[:3])
+    buffer = io.StringIO()
+    previous = set_tracer(RunTracer(buffer, clock=lambda: 0.0))
+    try:
+        service.evaluate_neighborhood([design], [Workload.from_sql(sqls)])
+    finally:
+        set_tracer(previous)
+    events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    kinds = [e["event"] for e in events]
+    assert "kernel_compile" in kinds
+    assert "kernel_batch" in kinds
+    compile_event = next(e for e in events if e["event"] == "kernel_compile")
+    assert compile_event["substrate"] == "columnar"
+    assert compile_event["queries"] == len(sqls)
+    batch_event = next(e for e in events if e["event"] == "kernel_batch")
+    assert batch_event["pairs"] == len(sqls)
+    assert service.stats.kernel_batch_calls == 1
+    assert service.stats.kernel_pairs_priced == len(sqls)
+
+    registry = MetricsRegistry()
+    service.publish_metrics(registry)
+    sampled = registry.snapshot()
+    assert sampled["costing.kernel.batch_calls"] == 1
+    assert sampled["costing.kernel.pairs_priced"] == len(sqls)
+
+
+# -- BoundedMemo -------------------------------------------------------------------
+
+
+def test_bounded_memo_caps_entries_and_counts_evictions():
+    from repro.obs import get_metrics
+
+    counter = get_metrics().counter("costing.memo_evictions.test_unit")
+    before = counter.value
+    memo = BoundedMemo("costing.memo_evictions.test_unit", max_entries=4)
+    for i in range(7):
+        memo[("sql", i)] = float(i)
+    assert len(memo) == 4
+    assert ("sql", 0) not in memo
+    assert ("sql", 6) in memo
+    assert memo[("sql", 6)] == 6.0
+    assert counter.value == before + 3  # every eviction is metrics-counted
+
+
+def test_bounded_memo_lru_recency_on_read():
+    memo = BoundedMemo("costing.memo_evictions.test_unit", max_entries=2)
+    memo["a"] = 1.0
+    memo["b"] = 2.0
+    assert memo["a"] == 1.0  # refresh "a": "b" becomes the LRU entry
+    memo["c"] = 3.0
+    assert "a" in memo
+    assert "b" not in memo
+
+
+def test_bounded_memo_stores_none_results():
+    """``None`` (= structure cannot serve) is a first-class memo value."""
+    memo = BoundedMemo("costing.memo_evictions.test_unit", max_entries=4)
+    memo["x"] = None
+    assert "x" in memo
+    assert memo["x"] is None
+
+
+def test_model_memos_are_bounded():
+    """All three cost models use the metrics-counted bounded memo."""
+    schema, _ = _environment()
+    assert isinstance(ColumnarCostModel(schema)._projection_costs, BoundedMemo)
+    assert isinstance(RowstoreCostModel(schema)._structure_costs, BoundedMemo)
+    assert isinstance(SamplesCostModel(schema)._sample_costs, BoundedMemo)
