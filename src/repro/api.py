@@ -41,6 +41,7 @@ from repro.harness.experiments import (
 from repro.harness.replay import ReplayResult
 from repro.harness.scheduler import ScheduleOutcome
 from repro.parallel.backends import ExecutionBackend, resolve_backend
+from repro.state import RunCheckpointer
 from repro.workload.workload import Workload
 
 WORKLOADS = ("R1", "S1", "S2")
@@ -99,6 +100,17 @@ class RunConfig:
     #: Metrics registry the session publishes into (``None`` = the
     #: process-wide default, :func:`repro.obs.get_metrics`).
     metrics: MetricsRegistry | None = None
+    #: Checkpoint file for crash-safe resume (docs/state.md).  When set,
+    #: every entry point snapshots its progress at natural boundaries
+    #: (iteration, window transition, Γ-point, grid cell) through a
+    #: :class:`repro.state.RunCheckpointer`; ``None`` disables
+    #: checkpointing entirely (zero overhead).
+    checkpoint_path: str | os.PathLike | None = None
+    #: Write a snapshot every N boundaries (1 = every boundary).
+    checkpoint_every: int = 1
+    #: Resume from the snapshot at ``checkpoint_path`` when one exists.
+    #: A resumed run is bit-identical to an uninterrupted one.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOADS:
@@ -142,6 +154,16 @@ class RunConfig:
             raise ValueError(
                 f"metrics must be a repro.obs.MetricsRegistry, got {self.metrics!r}"
             )
+        if self.checkpoint_path is not None and not isinstance(
+            self.checkpoint_path, (str, os.PathLike)
+        ):
+            raise ValueError(
+                f"checkpoint_path must be a path, got {self.checkpoint_path!r}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.resume and self.checkpoint_path is None:
+            raise ValueError("resume requires checkpoint_path")
 
     def with_overrides(self, **overrides) -> "RunConfig":
         """A copy with some knobs replaced (re-validated)."""
@@ -211,6 +233,7 @@ class RobustDesignSession:
         self._adapter = None
         self._nominal = None
         self._tracer: RunTracer | None = None
+        self._checkpointer: RunCheckpointer | None = None
 
     # -- lazily built pieces -----------------------------------------------------
 
@@ -263,6 +286,20 @@ class RobustDesignSession:
         """The registry this session publishes into."""
         return self.config.metrics if self.config.metrics is not None else get_metrics()
 
+    @property
+    def checkpointer(self) -> RunCheckpointer | None:
+        """The crash-safe snapshot writer (``None`` when unconfigured)."""
+        if self.config.checkpoint_path is None:
+            return None
+        if self._checkpointer is None:
+            self._checkpointer = RunCheckpointer(
+                self.config.checkpoint_path,
+                every=self.config.checkpoint_every,
+                resume=self.config.resume,
+                metrics=self.config.metrics,
+            )
+        return self._checkpointer
+
     def _tracing(self):
         """Context that activates the session tracer (no-op when
         ``trace_path`` is unset — disabled tracing costs nothing)."""
@@ -308,6 +345,8 @@ class RobustDesignSession:
         elif isinstance(window, int):
             window = windows[window]
         designer, sampler = self.designer("CliffGuard")
+        if self.checkpointer is not None:
+            designer.checkpointer = self.checkpointer
         start, _ = window.span_days
         sampler.set_pool(
             [q for q in self.context.trace(self.config.workload) if q.timestamp < start]
@@ -335,6 +374,7 @@ class RobustDesignSession:
                 which=which,
                 gamma=self.config.gamma,
                 backend=self.backend,
+                checkpointer=self.checkpointer,
             )
         self._publish_metrics()
         return result
@@ -343,7 +383,11 @@ class RobustDesignSession:
         """The Figures 8–9 robustness-knob sweep (per-Γ fan-out)."""
         with self._tracing():
             result = run_gamma_sweep(
-                self.context, self.config.workload, gammas=gammas, backend=self.backend
+                self.context,
+                self.config.workload,
+                gammas=gammas,
+                backend=self.backend,
+                checkpointer=self.checkpointer,
             )
         self._publish_metrics()
         return result
@@ -363,6 +407,7 @@ class RobustDesignSession:
                 designers=designers,
                 gamma=self.config.gamma,
                 backend=self.backend,
+                checkpointer=self.checkpointer,
             )
         self._publish_metrics()
         return result

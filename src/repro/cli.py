@@ -65,6 +65,26 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         help="append a structured JSONL event trace to PATH "
         "(see docs/observability.md for the schema)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write crash-safe progress snapshots to PATH at every "
+        "iteration/window/Γ-point boundary (see docs/state.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshot every N boundaries (default 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the snapshot at --checkpoint; the resumed run "
+        "is bit-identical to an uninterrupted one",
+    )
 
 
 def _session(args: argparse.Namespace) -> RobustDesignSession:
@@ -80,6 +100,9 @@ def _session(args: argparse.Namespace) -> RobustDesignSession:
         skip_transitions=max(0, args.days // args.window_days - 1 - args.transitions),
         backend=args.backend,
         jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     return RobustDesignSession(config)
 
@@ -113,6 +136,8 @@ def cmd_drift(args: argparse.Namespace) -> int:
 def cmd_design(args: argparse.Namespace) -> int:
     with _session(args) as session:
         designer, sampler = session.designer(args.designer)
+        if session.checkpointer is not None and hasattr(designer, "checkpointer"):
+            designer.checkpointer = session.checkpointer
         windows = session.context.trace_windows(args.workload)
         index = min(len(windows) - 2, max(0, len(windows) - 1 - args.transitions))
         window = windows[index]
@@ -181,6 +206,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             args.workload,
             engine=args.engine,
             backend=session.backend,
+            checkpointer=session.checkpointer,
         )
     print(
         format_costing_stats(

@@ -25,8 +25,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.costing.service import workload_fingerprint
 from repro.designers.base import DesignAdapter, Designer
 from repro.obs import tracer
+from repro.state import (
+    RunCheckpointer,
+    costing_state,
+    restore_costing,
+    restore_sampler,
+    run_key,
+    sampler_state,
+)
 from repro.workload.sampler import NeighborhoodSampler
 from repro.workload.workload import Workload
 
@@ -111,6 +120,10 @@ class CliffGuard(Designer):
         self.include_base_in_neighborhood = include_base_in_neighborhood
         self.keep_base_in_move = keep_base_in_move
         self.last_report: CliffGuardReport | None = None
+        #: Optional :class:`repro.state.RunCheckpointer`; when set,
+        #: :meth:`design` snapshots the loop at every iteration boundary
+        #: and resumes from the latest snapshot (see docs/state.md).
+        self.checkpointer: RunCheckpointer | None = None
 
     # -- neighborhood machinery ----------------------------------------------------
 
@@ -145,7 +158,16 @@ class CliffGuard(Designer):
     # -- the designer -------------------------------------------------------------------
 
     def design(self, workload: Workload):
-        """Run Algorithm 2 and return the robust design."""
+        """Run Algorithm 2 and return the robust design.
+
+        With a ``checkpointer`` attached, the loop state (iteration,
+        α, accepted design, neighborhood costs, worst-case history, the
+        sampler's bit-generator state, and the warm cost cache) is
+        snapshotted after the initial neighborhood evaluation and after
+        every iteration; a killed run resumed from any of those
+        boundaries produces a bit-identical design and report (see
+        docs/state.md).
+        """
         from repro.core.move import move_workload
 
         report = CliffGuardReport()
@@ -153,34 +175,90 @@ class CliffGuard(Designer):
         service = getattr(self.adapter, "costing", None)
         baseline = service.stats.snapshot() if service is not None else None
         t = tracer()
-        if t.enabled:
-            t.emit(
-                "design_start",
-                designer=self.name,
-                gamma=self.gamma,
-                n_samples=self.n_samples,
-                max_iterations=self.max_iterations,
-                queries=len(workload),
+        ckpt = self.checkpointer
+        key = None
+        state = None
+        if ckpt is not None:
+            key = run_key(
+                "cliffguard",
+                self.name,
+                self.gamma,
+                self.n_samples,
+                self.max_iterations,
+                self.initial_alpha,
+                self.worst_fraction,
+                self.min_worst,
+                self.patience,
+                workload_fingerprint(list(workload)),
+            )
+            state = ckpt.load("cliffguard", key)
+
+        def checkpoint(next_iteration: int) -> None:
+            if ckpt is None:
+                return
+            ckpt.step(
+                "cliffguard",
+                key,
+                lambda: {
+                    "next_iteration": next_iteration,
+                    "design": design,
+                    "neighborhood": neighborhood,
+                    "costs": costs,
+                    "worst_case": worst_case,
+                    "alpha": alpha,
+                    "stale": stale,
+                    "report": report,
+                    "baseline": baseline,
+                    "sampler": sampler_state(self.sampler),
+                    "costing": costing_state(self.adapter),
+                },
             )
 
-        design = self.nominal.design(workload)  # Line 1: initial nominal design
-        report.designer_calls += 1
-        if self.gamma == 0 or self.max_iterations == 0 or not workload:
-            # Γ = 0 degenerates to the nominal design by definition.
-            self._finish(report, service, baseline, self.initial_alpha)
-            return design
+        if state is None:
+            if t.enabled:
+                t.emit(
+                    "design_start",
+                    designer=self.name,
+                    gamma=self.gamma,
+                    n_samples=self.n_samples,
+                    max_iterations=self.max_iterations,
+                    queries=len(workload),
+                )
 
-        neighborhood = self.sampler.sample(workload, self.gamma, self.n_samples)
-        if self.include_base_in_neighborhood:
-            neighborhood = [workload] + neighborhood
+            design = self.nominal.design(workload)  # Line 1: initial nominal design
+            report.designer_calls += 1
+            if self.gamma == 0 or self.max_iterations == 0 or not workload:
+                # Γ = 0 degenerates to the nominal design by definition.
+                self._finish(report, service, baseline, self.initial_alpha)
+                return design
 
-        costs = self._neighborhood_costs(neighborhood, design)
-        worst_case = max(costs) if costs else 0.0
-        report.worst_case_history.append(worst_case)
+            neighborhood = self.sampler.sample(workload, self.gamma, self.n_samples)
+            if self.include_base_in_neighborhood:
+                neighborhood = [workload] + neighborhood
 
-        alpha = self.initial_alpha
-        stale = 0
-        for _ in range(self.max_iterations):
+            costs = self._neighborhood_costs(neighborhood, design)
+            worst_case = max(costs) if costs else 0.0
+            report.worst_case_history.append(worst_case)
+
+            alpha = self.initial_alpha
+            stale = 0
+            next_iteration = 0
+            checkpoint(0)
+        else:
+            design = state["design"]
+            neighborhood = state["neighborhood"]
+            costs = state["costs"]
+            worst_case = state["worst_case"]
+            alpha = state["alpha"]
+            stale = state["stale"]
+            next_iteration = state["next_iteration"]
+            report = state["report"]
+            self.last_report = report
+            baseline = state["baseline"]
+            restore_sampler(self.sampler, state["sampler"])
+            restore_costing(self.adapter, state["costing"])
+
+        for _ in range(next_iteration, self.max_iterations):
             report.iterations += 1
             report.alpha_history.append(alpha)
             if t.enabled:
@@ -191,6 +269,7 @@ class CliffGuard(Designer):
                     alpha=alpha,
                     worst_case=worst_case,
                 )
+            stop = False
             worst = self._worst_neighbors(neighborhood, costs)
             moved = move_workload(
                 workload,
@@ -241,13 +320,18 @@ class CliffGuard(Designer):
                     )
                     t.emit("alpha", designer=self.name, value=alpha, reason="failure")
                 if self.patience is not None and stale >= self.patience:
-                    break
-            report.worst_case_history.append(worst_case)
+                    stop = True
+            if not stop:
+                report.worst_case_history.append(worst_case)
+            checkpoint(self.max_iterations if stop else report.iterations)
+            if stop:
+                break
         self._finish(report, service, baseline, alpha)
         return design
 
-    @staticmethod
-    def _finish(report: CliffGuardReport, service, baseline, alpha: float) -> None:
+    def _finish(
+        self, report: CliffGuardReport, service, baseline, alpha: float
+    ) -> None:
         """Record designer effort (cost-call counters) and the final α."""
         report.final_alpha = alpha
         if service is not None and baseline is not None:
@@ -264,7 +348,7 @@ class CliffGuard(Designer):
         if t.enabled:
             t.emit(
                 "design_finish",
-                designer=CliffGuard.name,
+                designer=self.name,
                 iterations=report.iterations,
                 accepted_moves=report.accepted_moves,
                 designer_calls=report.designer_calls,

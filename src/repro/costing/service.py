@@ -348,6 +348,33 @@ class CostEvaluationService:
     def reset_stats(self) -> None:
         self.stats = CostServiceStats()
 
+    # -- checkpoint/resume support ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot the memo caches and counters for a run checkpoint.
+
+        The export preserves LRU order (items lists keep insertion
+        order) and the exact cached floats, so a service restored via
+        :meth:`import_state` serves the same hits, misses, and values —
+        in the same eviction order — as the service it was exported
+        from.  That is what makes a resumed run's per-window counter
+        deltas bit-identical to the uninterrupted run's (see
+        docs/state.md).  The design-fingerprint memo is not exported:
+        fingerprints are content hashes, recomputed deterministically on
+        first use.
+        """
+        return {
+            "query": list(self._query_cache.items()),
+            "workload": list(self._workload_cache.items()),
+            "stats": self.stats.snapshot(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a cache export from :meth:`export_state` in place."""
+        self._query_cache = OrderedDict(state["query"])
+        self._workload_cache = OrderedDict(state["workload"])
+        self.stats = state["stats"].snapshot()
+
     def _remember_query(self, key: tuple[str, str], cost: float) -> None:
         self._query_cache[key] = cost
         if len(self._query_cache) > self.max_query_entries:

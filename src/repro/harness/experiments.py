@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import statistics as stats_module
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.engine.optimizer import ColumnarCostModel
 from repro.obs import tracer
 from repro.parallel.backends import ExecutionBackend, resolve_backend
 from repro.rowstore.optimizer import RowstoreCostModel
+from repro.state import RunCheckpointer, costing_state, restore_costing, run_key
 from repro.workload.distance import SWGO, LatencyAwareDistance, WorkloadDistance
 from repro.workload.generator import (
     DriftProfile,
@@ -381,6 +382,7 @@ def run_designer_comparison(
     which: list[str] | None = None,
     gamma: float | None = None,
     backend: ExecutionBackend | str | None = None,
+    checkpointer: RunCheckpointer | None = None,
 ) -> ReplayResult:
     """The Figure 7 / 10 / 15 experiment for one workload and engine.
 
@@ -390,9 +392,24 @@ def run_designer_comparison(
     any worker count because each task is deterministic given the scale's
     seed.  Without a backend the designers share one adapter (and its
     warm cost cache) exactly as before.
+
+    ``checkpointer`` makes the comparison resumable: the serial path
+    checkpoints after every window transition (through :func:`replay`);
+    the backend path records completed designers and, on resume, fans
+    out only the pending ones (each designer task is independent, so
+    skipping finished ones is value-preserving).  See docs/state.md.
     """
     if gamma is None:
         gamma = context.default_gamma(workload)
+    names = which if which is not None else registry.names()
+    state_key = run_key(
+        "designer_comparison",
+        astuple(context.scale),
+        workload,
+        engine,
+        tuple(names),
+        gamma,
+    )
     executor = resolve_backend(backend)
     if executor is None:
         adapter, nominal = _engine_stack(context, engine)
@@ -407,15 +424,24 @@ def run_designer_comparison(
             max_transitions=context.scale.max_transitions,
             skip_transitions=context.scale.skip_transitions,
             before_transition=_past_pool_hook(context.trace(workload), samplers),
+            checkpointer=checkpointer,
+            state_key=state_key,
         )
-    names = which if which is not None else registry.names()
-    tasks = [(context.scale, workload, engine, name, gamma) for name in names]
+    done: dict[str, DesignerRun] = {}
+    counts: list[int] = []
+    if checkpointer is not None:
+        state = checkpointer.load("designer_comparison", state_key)
+        if state is not None:
+            done = state["runs"]
+            counts = state["counts"]
+    pending = [name for name in names if name not in done]
+    tasks = [(context.scale, workload, engine, name, gamma) for name in pending]
     result = ReplayResult(workload_name=workload)
     t = tracer()
-    for name, run, counts in executor.map(_designer_comparison_task, tasks):
-        result.runs[name] = run
-        if not result.evaluated_query_counts:
-            result.evaluated_query_counts = counts
+    for name, run, task_counts in executor.map(_designer_comparison_task, tasks):
+        done[name] = run
+        if not counts:
+            counts = task_counts
         if t.enabled:
             # Worker processes carry the null tracer, so fanned-out
             # replays surface here as one summary event per designer.
@@ -427,6 +453,14 @@ def run_designer_comparison(
                 avg_ms=run.mean_average_ms,
                 max_ms=run.mean_max_ms,
             )
+    if checkpointer is not None and pending:
+        checkpointer.step(
+            "designer_comparison",
+            state_key,
+            lambda: {"runs": done, "counts": counts},
+        )
+    result.runs = {name: done[name] for name in names if name in done}
+    result.evaluated_query_counts = counts
     return result
 
 
@@ -462,6 +496,7 @@ def run_gamma_sweep(
     workload: str,
     gammas: list[float] | None = None,
     backend: ExecutionBackend | str | None = None,
+    checkpointer: RunCheckpointer | None = None,
 ) -> dict[float, tuple[float, float]]:
     """CliffGuard's (avg, max) latency per Γ; Γ = 0 is the nominal case.
 
@@ -469,16 +504,32 @@ def run_gamma_sweep(
     (its own context and seeded sampler) — the per-Γ runs were already
     independent in the serial loop, so fanning them out is value-preserving
     at any worker count.
+
+    ``checkpointer`` makes the sweep resumable at Γ-point granularity:
+    completed Γ-points are recorded after each replay (the serial path
+    also snapshots the shared adapter's warm cost cache, so a resumed
+    sweep's effort counters match the uninterrupted run); on resume only
+    pending Γ-points run.  See docs/state.md.
     """
     base_gamma = context.default_gamma(workload)
     if gammas is None:
         gammas = [0.0, 0.25 * base_gamma, base_gamma, 2 * base_gamma, 6 * base_gamma]
+    state_key = run_key(
+        "gamma_sweep", astuple(context.scale), workload, tuple(gammas)
+    )
     executor = resolve_backend(backend)
     t = tracer()
     if executor is None:
         adapter, nominal = _engine_stack(context, "columnar")
         results: dict[float, tuple[float, float]] = {}
+        if checkpointer is not None:
+            state = checkpointer.load("gamma_sweep", state_key)
+            if state is not None:
+                results = state["results"]
+                restore_costing(adapter, state["costing"])
         for gamma in gammas:
+            if gamma in results:
+                continue
             results[gamma] = _cliffguard_gamma_run(
                 context, adapter, nominal, workload, gamma
             )
@@ -490,9 +541,23 @@ def run_gamma_sweep(
                     avg_ms=results[gamma][0],
                     max_ms=results[gamma][1],
                 )
-        return results
-    tasks = [(context.scale, workload, gamma) for gamma in gammas]
+            if checkpointer is not None:
+                checkpointer.step(
+                    "gamma_sweep",
+                    state_key,
+                    lambda: {
+                        "results": results,
+                        "costing": costing_state(adapter),
+                    },
+                )
+        return {gamma: results[gamma] for gamma in gammas}
     results = {}
+    if checkpointer is not None:
+        state = checkpointer.load("gamma_sweep", state_key)
+        if state is not None:
+            results = state["results"]
+    pending = [gamma for gamma in gammas if gamma not in results]
+    tasks = [(context.scale, workload, gamma) for gamma in pending]
     for gamma, point in executor.map(_gamma_sweep_task, tasks):
         results[gamma] = point
         if t.enabled:
@@ -503,7 +568,13 @@ def run_gamma_sweep(
                 avg_ms=point[0],
                 max_ms=point[1],
             )
-    return results
+    if checkpointer is not None and pending:
+        checkpointer.step(
+            "gamma_sweep",
+            state_key,
+            lambda: {"results": results, "costing": None},
+        )
+    return {gamma: results[gamma] for gamma in gammas}
 
 
 def _cliffguard_gamma_run(
@@ -735,6 +806,7 @@ def run_costing_stats(
     workload: str,
     engine: str = "columnar",
     backend: ExecutionBackend | str | None = None,
+    checkpointer: RunCheckpointer | None = None,
 ) -> CostingStatsOutcome:
     """Replay CliffGuard once and capture the cost-service counters.
 
@@ -743,6 +815,8 @@ def run_costing_stats(
     batched neighborhood evaluation, and the wall-time spent costing.
     ``backend`` selects the execution backend that fills cost-cache misses
     during neighborhood evaluation (counters stay bit-identical to serial).
+    ``checkpointer`` makes the replay resumable per window transition;
+    the service counters survive through the checkpointed cache export.
     """
     adapter, nominal = _engine_stack(context, engine, backend)
     windows = context.trace_windows(workload)
@@ -759,6 +833,12 @@ def run_costing_stats(
         max_transitions=context.scale.max_transitions,
         skip_transitions=context.scale.skip_transitions,
         before_transition=_past_pool_hook(context.trace(workload), samplers),
+        checkpointer=checkpointer,
+        state_key=run_key(
+            "costing_stats", astuple(context.scale), workload, engine, gamma
+        )
+        if checkpointer is not None
+        else None,
     )
     adapter.costing.publish_metrics()
     return CostingStatsOutcome(
@@ -782,6 +862,7 @@ def run_schedule_comparison(
     gamma: float | None = None,
     iterations: int | None = None,
     backend: ExecutionBackend | str | None = None,
+    checkpointer: RunCheckpointer | None = None,
 ) -> dict[tuple[str, int], ScheduleOutcome]:
     """Scheduled replay for every (designer, re-design period) pair.
 
@@ -790,6 +871,11 @@ def run_schedule_comparison(
     Each (designer, period) pair is an independent deterministic task, so
     the grid fans out over the execution backend; ``backend=None`` runs
     the same tasks inline.
+
+    ``checkpointer`` records completed (designer, period) cells — after
+    each cell on the serial path, at completion on the backend path — and
+    on resume runs only the pending cells (each cell rebuilds its own
+    context, so skipping finished ones is value-preserving).
     """
     if gamma is None:
         gamma = context.default_gamma(workload)
@@ -798,12 +884,43 @@ def run_schedule_comparison(
         for name in designers
         for every in everies
     ]
+    state_key = run_key(
+        "schedule_comparison",
+        astuple(context.scale),
+        workload,
+        engine,
+        tuple(designers),
+        tuple(everies),
+        gamma,
+        iterations,
+    )
+    done: dict[tuple[str, int], ScheduleOutcome] = {}
+    if checkpointer is not None:
+        state = checkpointer.load("schedule_comparison", state_key)
+        if state is not None:
+            done = state["outcomes"]
+    pending = [task for task in tasks if (task[3], task[4]) not in done]
     executor = resolve_backend(backend)
     if executor is None:
-        outcomes = [_schedule_task(task) for task in tasks]
+        for task in pending:
+            name, every, outcome = _schedule_task(task)
+            done[(name, every)] = outcome
+            if checkpointer is not None:
+                checkpointer.step(
+                    "schedule_comparison", state_key, lambda: {"outcomes": done}
+                )
     else:
-        outcomes = executor.map(_schedule_task, tasks)
-    return {(name, every): outcome for name, every, outcome in outcomes}
+        for name, every, outcome in executor.map(_schedule_task, pending):
+            done[(name, every)] = outcome
+        if checkpointer is not None and pending:
+            checkpointer.step(
+                "schedule_comparison", state_key, lambda: {"outcomes": done}
+            )
+    return {
+        (task[3], task[4]): done[(task[3], task[4])]
+        for task in tasks
+        if (task[3], task[4]) in done
+    }
 
 
 def _schedule_task(task) -> tuple[str, int, ScheduleOutcome]:

@@ -18,8 +18,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.costing.service import workload_fingerprint
 from repro.designers.base import DesignAdapter, Designer
 from repro.obs import tracer
+from repro.state import (
+    RunCheckpointer,
+    costing_state,
+    designer_state,
+    restore_costing,
+    restore_designer,
+    run_key,
+)
 from repro.workload.query import WorkloadQuery
 from repro.workload.workload import Workload
 
@@ -174,6 +183,8 @@ def replay(
     max_transitions: int | None = None,
     skip_transitions: int = 0,
     before_transition=None,
+    checkpointer: RunCheckpointer | None = None,
+    state_key: str | None = None,
 ) -> ReplayResult:
     """Run the full replay; see the module docstring for the protocol.
 
@@ -187,16 +198,44 @@ def replay(
     ``before_transition(i, train, test)`` is called before each transition;
     experiments use it to refresh sampler pools with only-past queries (so
     neighborhood sampling never peeks at the future).
+
+    ``checkpointer`` snapshots the partial result after every completed
+    window transition (plus each designer's sampler stream and the warm
+    cost cache) and resumes from the latest snapshot; a resumed replay is
+    bit-identical to an uninterrupted one (docs/state.md).  ``state_key``
+    overrides the derived run-identity key when the caller already knows
+    its run configuration digest.
     """
-    result = ReplayResult(workload_name=workload_name)
-    for name in designers:
-        result.runs[name] = DesignerRun(name=name)
+    if checkpointer is not None and state_key is None:
+        state_key = run_key(
+            "replay",
+            workload_name,
+            sorted(designers),
+            benefit_factor,
+            max_transitions,
+            skip_transitions,
+            [workload_fingerprint(list(window)) for window in windows],
+        )
+    state = (
+        checkpointer.load("replay", state_key) if checkpointer is not None else None
+    )
+    if state is not None:
+        result = state["result"]
+        for name, designer in designers.items():
+            restore_designer(designer, state["designers"].get(name))
+        restore_costing(adapter, state["costing"])
+        start = state["next_transition"]
+    else:
+        result = ReplayResult(workload_name=workload_name)
+        for name in designers:
+            result.runs[name] = DesignerRun(name=name)
+        start = skip_transitions
 
     transitions = len(windows) - 1
     if max_transitions is not None:
         transitions = min(transitions, skip_transitions + max_transitions)
 
-    for i in range(skip_transitions, transitions):
+    for i in range(start, transitions):
         train, test = windows[i], windows[i + 1]
         if not train or not test:
             continue
@@ -260,4 +299,17 @@ def replay(
                     structures=outcome.structure_count,
                     seconds=design_seconds,
                 )
+        if checkpointer is not None:
+            checkpointer.step(
+                "replay",
+                state_key,
+                lambda: {
+                    "next_transition": i + 1,
+                    "result": result,
+                    "designers": {
+                        name: designer_state(d) for name, d in designers.items()
+                    },
+                    "costing": costing_state(adapter),
+                },
+            )
     return result

@@ -21,8 +21,17 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro.costing.service import workload_fingerprint
 from repro.designers.base import DesignAdapter, Designer
 from repro.obs import tracer
+from repro.state import (
+    RunCheckpointer,
+    costing_state,
+    designer_state,
+    restore_costing,
+    restore_designer,
+    run_key,
+)
 from repro.workload.workload import Workload
 
 
@@ -44,6 +53,19 @@ class RedesignPolicy(abc.ABC):
         from the previous trace.
         """
 
+    def state(self) -> dict:
+        """Snapshot the per-replay state :meth:`reset` would clear.
+
+        Checkpoint/resume (docs/state.md) persists this mid-replay so a
+        resumed :func:`scheduled_replay` makes the same re-design
+        decisions the uninterrupted run would have.  Stateless policies
+        return an empty dict.
+        """
+        return {}
+
+    def restore(self, state: dict) -> None:
+        """Restore what :meth:`state` captured."""
+
 
 class PeriodicPolicy(RedesignPolicy):
     """Re-design every ``every`` windows (the classic monthly re-tune).
@@ -64,6 +86,12 @@ class PeriodicPolicy(RedesignPolicy):
 
     def reset(self) -> None:
         self._last_redesign = None
+
+    def state(self) -> dict:
+        return {"last_redesign": self._last_redesign}
+
+    def restore(self, state: dict) -> None:
+        self._last_redesign = state["last_redesign"]
 
     def should_redesign(self, window_index, design_window, current):
         if design_window is None or self._last_redesign is None:
@@ -95,6 +123,12 @@ class DriftTriggeredPolicy(RedesignPolicy):
 
     def reset(self) -> None:
         self.triggers = []
+
+    def state(self) -> dict:
+        return {"triggers": list(self.triggers)}
+
+    def restore(self, state: dict) -> None:
+        self.triggers = list(state["triggers"])
 
     def should_redesign(self, window_index, design_window, current):
         if design_window is None:
@@ -139,12 +173,17 @@ def scheduled_replay(
     policy: RedesignPolicy,
     evaluation_windows: list[Workload] | None = None,
     before_design=None,
+    checkpointer: RunCheckpointer | None = None,
+    state_key: str | None = None,
 ) -> ScheduleOutcome:
     """Replay ``windows`` re-designing only when ``policy`` says so.
 
     The design built from window ``i`` serves window ``i+1`` (and later
     windows until the next re-design).  ``evaluation_windows`` optionally
-    substitutes filtered workloads for latency measurement.
+    substitutes filtered workloads for latency measurement; when given it
+    must pair with ``windows`` one-to-one (``evaluation_windows[i + 1]``
+    measures the design serving window ``i + 1``).
+
     ``before_design(i)`` is called before each re-design (e.g. to refresh
     sampler pools).
 
@@ -152,14 +191,57 @@ def scheduled_replay(
     reset on entry, so one policy object can drive several replays; the
     triggers a :class:`DriftTriggeredPolicy` fired during *this* replay
     are returned on the outcome's ``drift_triggers``.
+
+    ``checkpointer`` snapshots the partial outcome (plus the active
+    design, the policy anchor, the designer's sampler stream, and the
+    warm cost cache) after every completed window and resumes from the
+    latest snapshot, bit-identically (docs/state.md).
     """
-    outcome = ScheduleOutcome(designer=designer.name)
+    if evaluation_windows is None:
+        evaluation = windows
+    else:
+        # An explicit `is None` check: a caller passing an empty list has
+        # made an indexing error, not requested the unfiltered windows —
+        # the old `evaluation_windows or windows` fallback silently
+        # evaluated on the wrong workloads.
+        if len(evaluation_windows) != len(windows):
+            raise ValueError(
+                "evaluation_windows must pair with windows one-to-one: "
+                f"got {len(evaluation_windows)} evaluation windows for "
+                f"{len(windows)} replay windows"
+            )
+        evaluation = evaluation_windows
+    if checkpointer is not None and state_key is None:
+        state_key = run_key(
+            "scheduled_replay",
+            designer.name,
+            type(policy).__name__,
+            getattr(policy, "every", None),
+            getattr(policy, "threshold", None),
+            [workload_fingerprint(list(window)) for window in windows],
+            evaluation_windows is not None,
+        )
     policy.reset()
-    evaluation = evaluation_windows or windows
-    design = None
-    design_window: Workload | None = None
+    state = (
+        checkpointer.load("scheduled_replay", state_key)
+        if checkpointer is not None
+        else None
+    )
+    if state is not None:
+        outcome = state["outcome"]
+        design = state["design"]
+        design_window = state["design_window"]
+        policy.restore(state["policy"])
+        restore_designer(designer, state["designer"])
+        restore_costing(adapter, state["costing"])
+        start = state["next_window"]
+    else:
+        outcome = ScheduleOutcome(designer=designer.name)
+        design = None
+        design_window = None
+        start = 0
     t = tracer()
-    for i in range(len(windows) - 1):
+    for i in range(start, len(windows) - 1):
         train, test = windows[i], evaluation[i + 1]
         if not train or not test:
             continue
@@ -189,6 +271,20 @@ def scheduled_replay(
                 avg_ms=average_ms,
                 redesigned=bool(outcome.redesign_windows)
                 and outcome.redesign_windows[-1] == i,
+            )
+        if checkpointer is not None:
+            checkpointer.step(
+                "scheduled_replay",
+                state_key,
+                lambda next_window=i + 1: {
+                    "next_window": next_window,
+                    "outcome": outcome,
+                    "design": design,
+                    "design_window": design_window,
+                    "policy": policy.state(),
+                    "designer": designer_state(designer),
+                    "costing": costing_state(adapter),
+                },
             )
     outcome.drift_triggers = list(getattr(policy, "triggers", ()))
     return outcome

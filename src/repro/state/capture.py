@@ -1,0 +1,77 @@
+"""State capture/restore helpers for resume-equivalent snapshots.
+
+Bit-identical resume needs more than the partial results: every source
+of downstream nondeterminism must be snapshotted too.  Concretely that
+is the :class:`~repro.workload.sampler.NeighborhoodSampler`'s numpy
+``Generator`` (its bit-generator state decides every future
+perturbation draw) and the
+:class:`~repro.costing.service.CostEvaluationService`'s memo caches
+(cache warmth decides the hit/miss counters every report surfaces, so a
+resumed run must see exactly the cache the uninterrupted run would
+have).  These helpers keep the knowledge of *where* that state lives in
+one place; the checkpoint call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+
+def sampler_state(sampler) -> dict:
+    """Snapshot a :class:`NeighborhoodSampler`'s random stream.
+
+    The perturbation pool is *not* captured: every harness rebuilds the
+    pool deterministically from the trace and the window index before
+    sampling (see ``_past_pool_hook``), so only the generator position
+    is genuine run state.
+    """
+    return {"bit_generator": sampler.rng.bit_generator.state}
+
+
+def restore_sampler(sampler, state: dict) -> None:
+    """Restore a sampler's random stream from :func:`sampler_state`."""
+    sampler.rng.bit_generator.state = state["bit_generator"]
+
+
+def designer_state(designer) -> dict | None:
+    """Snapshot the resumable state a designer carries, if any.
+
+    Designers are black boxes to the harness; the only stateful one in
+    the zoo is CliffGuard (and friends) holding a sampler whose rng
+    advances across windows.  Stateless designers return ``None``.
+    """
+    sampler = getattr(designer, "sampler", None)
+    if sampler is None or not hasattr(sampler, "rng"):
+        return None
+    return {"sampler": sampler_state(sampler)}
+
+
+def restore_designer(designer, state: dict | None) -> None:
+    """Restore what :func:`designer_state` captured (``None`` = no-op)."""
+    if state is None:
+        return
+    sampler = getattr(designer, "sampler", None)
+    if sampler is not None and "sampler" in state:
+        restore_sampler(sampler, state["sampler"])
+
+
+def costing_state(adapter_or_service) -> dict | None:
+    """Export the cost-evaluation cache behind an adapter (or service).
+
+    Accepts either a :class:`DesignAdapter` (the common case — its
+    ``costing`` attribute is the service) or a service itself; returns
+    ``None`` for stub adapters without one, so call sites never branch.
+    """
+    service = getattr(adapter_or_service, "costing", adapter_or_service)
+    export = getattr(service, "export_state", None)
+    if export is None:
+        return None
+    return export()
+
+
+def restore_costing(adapter_or_service, state: dict | None) -> None:
+    """Import a cache export from :func:`costing_state` (``None`` = no-op)."""
+    if state is None:
+        return
+    service = getattr(adapter_or_service, "costing", adapter_or_service)
+    restore = getattr(service, "import_state", None)
+    if restore is not None:
+        restore(state)

@@ -106,6 +106,21 @@ class _PerWorkloadCache:
         return len(self._entries)
 
 
+def _template_order(key: VectorKey) -> tuple:
+    """A canonical sort key for template keys.
+
+    Set/frozenset iteration order follows string hashing, which is
+    randomized per process (``PYTHONHASHSEED``); anything that turns a
+    set of templates into a float summation order must sort first, or
+    the same distance computed in two processes differs in the last ulp
+    — which breaks cross-process bit-reproducibility (and with it
+    checkpoint run keys, see docs/state.md).
+    """
+    if isinstance(key, tuple):
+        return tuple(tuple(sorted(columns)) for columns in key)
+    return (tuple(sorted(key)),)
+
+
 class WorkloadDistance:
     """Configurable ``δ_euclidean`` / ``δ_separate`` distance.
 
@@ -211,7 +226,10 @@ class WorkloadDistance:
         vector_a = first.template_vector(self.clauses)
         vector_b = second.template_vector(self.clauses)
         diff: dict[VectorKey, float] = {}
-        for key in vector_a.keys() | vector_b.keys():
+        # Sorted, not raw set order: the union's iteration order follows
+        # per-process hash randomization, and it decides the float
+        # summation order downstream (see _template_order).
+        for key in sorted(vector_a.keys() | vector_b.keys(), key=_template_order):
             delta = abs(vector_a.get(key, 0.0) - vector_b.get(key, 0.0))
             if delta > 0.0:
                 diff[key] = delta

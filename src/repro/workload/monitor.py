@@ -75,11 +75,21 @@ class WorkloadMonitor:
     # -- reference management ----------------------------------------------------
 
     def rebase(self, reference: Workload | None = None) -> None:
-        """Anchor the reference window (default: the current window)."""
+        """Anchor the reference window (default: the current window).
+
+        Starts a fresh monitoring epoch against the new reference: both
+        the alarm refractory anchor and the measurement cadence anchor
+        are cleared, so the first post-rebase observation measures (and
+        may alarm) immediately instead of inheriting the previous
+        epoch's timers.  The accumulated ``readings`` and ``alarms``
+        logs are *not* cleared — they span epochs by design (slice them
+        by ``at_day`` to isolate one epoch).
+        """
         if reference is None:
             reference = Workload(list(self._current))
         self._reference = reference
         self._last_alarm = None
+        self._last_measure = None
 
     @property
     def current_window(self) -> Workload:

@@ -92,9 +92,16 @@ class ColumnAffinity:
         self, table: str, context_columns: list[str], options: list[str]
     ) -> np.ndarray:
         """Sampling weights for replacement columns: 1 + total co-occurrence
-        with the query's remaining columns."""
-        table_counts = self.counts.get(table, {})
+        with the query's remaining columns.
+
+        An empty ``options`` list (a single-column table offers no
+        replacement) yields an empty weight array; normalizing it would
+        divide zero by zero and return NaN with a RuntimeWarning.
+        """
         weights = np.ones(len(options), dtype=np.float64)
+        if not options:
+            return weights
+        table_counts = self.counts.get(table, {})
         for i, option in enumerate(options):
             for context in context_columns:
                 weights[i] += table_counts.get(context, {}).get(option, 0.0)

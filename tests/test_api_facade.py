@@ -220,3 +220,47 @@ class TestObservabilityKnobs:
             session.design()
             assert tracer() is NULL_TRACER
         assert tracer() is NULL_TRACER
+
+
+class TestCheckpointKnobs:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"checkpoint_path": 123},
+            {"checkpoint_every": 0},
+            {"checkpoint_every": -3},
+            {"resume": True},  # resume without a checkpoint path
+        ],
+    )
+    def test_invalid_checkpoint_knobs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            RunConfig(**overrides)
+
+    def test_no_checkpointer_without_path(self):
+        session = RobustDesignSession(RunConfig(**TINY))
+        assert session.checkpointer is None
+
+    def test_checkpointer_built_lazily_from_config(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        config = RunConfig(**TINY, checkpoint_path=path, checkpoint_every=2)
+        session = RobustDesignSession(config)
+        checkpointer = session.checkpointer
+        assert checkpointer is session.checkpointer  # cached
+        assert checkpointer.every == 2
+        assert not checkpointer.resume
+
+    def test_session_design_writes_and_resumes(self, tmp_path):
+        path = tmp_path / "design.ckpt"
+        with RobustDesignSession(
+            RunConfig(**TINY, backend="serial", checkpoint_path=path)
+        ) as session:
+            first = session.design()
+        assert path.exists()
+        with RobustDesignSession(
+            RunConfig(**TINY, backend="serial", checkpoint_path=path, resume=True)
+        ) as session:
+            resumed = session.design()
+        assert sorted(str(s) for s in resumed.structures) == sorted(
+            str(s) for s in first.structures
+        )
+        assert resumed.price_bytes == first.price_bytes

@@ -91,3 +91,38 @@ class TestCommands:
 
         for line in trace_path.read_text().splitlines():
             json.loads(line)
+
+
+class TestCheckpointFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["gamma"])
+        assert args.checkpoint is None
+        assert args.checkpoint_every == 1
+        assert args.resume is False
+
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["gamma", "--checkpoint", "run.ckpt", "--checkpoint-every", "3", "--resume"]
+        )
+        assert args.checkpoint == "run.ckpt"
+        assert args.checkpoint_every == 3
+        assert args.resume is True
+
+    def test_resume_without_checkpoint_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            main(["info", "--resume", *FAST])
+
+    def test_gamma_checkpoint_then_resume_matches(self, capsys, tmp_path):
+        path = tmp_path / "gamma.ckpt"
+        assert main(["gamma", *FAST]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["gamma", "--checkpoint", str(path), *FAST]) == 0
+        capsys.readouterr()
+        assert path.exists()
+        assert (
+            main(["gamma", "--checkpoint", str(path), "--resume", *FAST]) == 0
+        )
+        resumed = capsys.readouterr().out
+        # The resumed run replays entirely from the snapshot and must
+        # print the exact same deterministic table.
+        assert resumed == baseline

@@ -180,3 +180,33 @@ class TestAlgorithm:
             adapter.workload_cost(w, design).average_ms for w in neighborhood
         )
         assert worst(robust_design) <= worst(nominal_design) * 1.05
+
+
+class TestTraceIdentity:
+    def test_design_finish_reports_instance_name(self, parts):
+        """Regression: ``design_finish`` hard-coded the class attribute
+        ``CliffGuard.name``, so a renamed instance (the Γ-sweep benches
+        label variants like "CliffGuard(2Γ)") emitted start/iteration
+        events under its own name but finished under the generic one."""
+        import io
+        import json
+
+        from repro.obs import RunTracer, set_tracer
+
+        adapter, nominal, sampler, window = parts
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=3, max_iterations=1
+        )
+        robust.name = "CliffGuard[renamed]"
+        buffer = io.StringIO()
+        previous = set_tracer(RunTracer(buffer, clock=lambda: 0.0))
+        try:
+            robust.design(window)
+        finally:
+            set_tracer(previous)
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        finish = [e for e in events if e["event"] == "design_finish"]
+        assert len(finish) == 1
+        assert finish[0]["designer"] == "CliffGuard[renamed]"
+        start = [e for e in events if e["event"] == "design_start"]
+        assert start[0]["designer"] == finish[0]["designer"]

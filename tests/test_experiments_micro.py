@@ -80,3 +80,93 @@ class TestSampleSizeSweep:
         assert set(results) == {2, 4}
         for avg, mx in results.values():
             assert 0 < avg <= mx
+
+
+class TestExperimentResume:
+    """Crash the experiment grids mid-run and resume; results must be
+    identical to the uninterrupted run (see docs/state.md)."""
+
+    @staticmethod
+    def _replay_facts(result):
+        """Everything deterministic about a ReplayResult: all WindowOutcome
+        fields except wall-clock ``design_seconds``."""
+        import dataclasses
+
+        return {
+            "workload": result.workload_name,
+            "counts": result.evaluated_query_counts,
+            "runs": {
+                name: [
+                    {
+                        f.name: getattr(w, f.name)
+                        for f in dataclasses.fields(w)
+                        if f.name != "design_seconds"
+                    }
+                    for w in run.windows
+                ]
+                for name, run in result.runs.items()
+            },
+        }
+
+    def test_gamma_sweep_resumes_identically(self, context, tmp_path):
+        from repro.harness.experiments import run_gamma_sweep
+        from repro.state import RunCheckpointer, SimulatedCrash
+
+        base = context.default_gamma("R1")
+        gammas = [0.0, base]
+        baseline = run_gamma_sweep(context, "R1", gammas=gammas)
+        path = tmp_path / "sweep.ckpt"
+        crashing = RunCheckpointer(path, crash_after=1)
+        with pytest.raises(SimulatedCrash):
+            run_gamma_sweep(context, "R1", gammas=gammas, checkpointer=crashing)
+        resumed = run_gamma_sweep(
+            context,
+            "R1",
+            gammas=gammas,
+            checkpointer=RunCheckpointer(path, resume=True),
+        )
+        assert resumed == baseline
+
+    def test_designer_comparison_resumes_identically(self, context, tmp_path):
+        from repro.harness.experiments import run_designer_comparison
+        from repro.state import RunCheckpointer, SimulatedCrash
+
+        which = ["NoDesign", "ExistingDesigner"]
+        baseline = run_designer_comparison(context, "R1", which=which)
+        path = tmp_path / "compare.ckpt"
+        # The serial path checkpoints per window transition (through
+        # replay); with max_transitions=1 the single write lands after
+        # the only transition, so the crash leaves a finished snapshot.
+        crashing = RunCheckpointer(path, crash_after=1)
+        with pytest.raises(SimulatedCrash):
+            run_designer_comparison(context, "R1", which=which, checkpointer=crashing)
+        resumed = run_designer_comparison(
+            context,
+            "R1",
+            which=which,
+            checkpointer=RunCheckpointer(path, resume=True),
+        )
+        assert self._replay_facts(resumed) == self._replay_facts(baseline)
+
+    def test_schedule_comparison_resumes_identically(self, context, tmp_path):
+        from repro.harness.experiments import run_schedule_comparison
+        from repro.state import RunCheckpointer, SimulatedCrash
+
+        kwargs = dict(
+            workload="R1",
+            designers=("ExistingDesigner",),
+            everies=(1, 2),
+            iterations=1,
+        )
+        baseline = run_schedule_comparison(context, **kwargs)
+        path = tmp_path / "schedule.ckpt"
+        crashing = RunCheckpointer(path, crash_after=1)
+        with pytest.raises(SimulatedCrash):
+            run_schedule_comparison(context, checkpointer=crashing, **kwargs)
+        resumed = run_schedule_comparison(
+            context,
+            checkpointer=RunCheckpointer(path, resume=True),
+            **kwargs,
+        )
+        # ScheduleOutcome carries no wall-clock fields: exact equality.
+        assert resumed == baseline

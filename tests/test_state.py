@@ -1,0 +1,523 @@
+"""Tests for ``repro.state``: snapshot format, fault injection, resume.
+
+Three layers:
+
+* unit — :class:`RunCheckpointer` file-format mechanics (atomic write,
+  digest/version/identity verification, ``every`` gating, the
+  :class:`SimulatedCrash` hook);
+* resume equivalence — kill-at-every-boundary sweeps over the CliffGuard
+  loop (on all three engine substrates), the windowed replay, and the
+  scheduled replay, asserting resumed == uninterrupted bit-for-bit
+  (modulo wall-clock fields);
+* experiment runners — Γ-sweep / designer-comparison /
+  schedule-comparison resume at their unit granularity.
+"""
+
+import io
+import json
+import pickle
+from dataclasses import fields
+
+import pytest
+
+from repro.core.cliffguard import CliffGuard
+from repro.designers.base import (
+    ColumnarAdapter,
+    RowstoreAdapter,
+    SamplesAdapter,
+    default_budget_bytes,
+)
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+from repro.designers.samples_nominal import SamplesNominalDesigner
+from repro.engine.optimizer import ColumnarCostModel
+from repro.harness.replay import replay
+from repro.harness.scheduler import (
+    DriftTriggeredPolicy,
+    PeriodicPolicy,
+    scheduled_replay,
+)
+from repro.obs import MetricsRegistry, RunTracer, set_tracer
+from repro.rowstore.optimizer import RowstoreCostModel
+from repro.samples.optimizer import SamplesCostModel
+from repro.state import (
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    CheckpointVersionError,
+    RunCheckpointer,
+    SimulatedCrash,
+    run_key,
+)
+from repro.workload.distance import WorkloadDistance
+from repro.workload.sampler import NeighborhoodSampler
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _stack(substrate: str, schema):
+    """(adapter, nominal) for one engine substrate, built fresh."""
+    if substrate == "columnar":
+        adapter = ColumnarAdapter(
+            ColumnarCostModel(schema), default_budget_bytes(schema, 0.5)
+        )
+        return adapter, ColumnarNominalDesigner(adapter)
+    if substrate == "rowstore":
+        adapter = RowstoreAdapter(
+            RowstoreCostModel(schema), default_budget_bytes(schema, 0.5)
+        )
+        return adapter, RowstoreNominalDesigner(adapter)
+    adapter = SamplesAdapter(
+        SamplesCostModel(schema), default_budget_bytes(schema, 0.1)
+    )
+    return adapter, SamplesNominalDesigner(adapter)
+
+
+def _sampler(schema, trace, window, seed=3):
+    pool = [q for q in trace if q.timestamp < window.span_days[0]]
+    return NeighborhoodSampler(
+        WorkloadDistance(schema.total_columns),
+        schema,
+        pool=pool,
+        seed=seed,
+        min_query_set=4,
+        max_query_set=8,
+    )
+
+
+def _report_facts(report):
+    """Every report field except the wall-clock one (timing is the only
+    thing the resume-equivalence contract excludes)."""
+    return {
+        f.name: getattr(report, f.name)
+        for f in fields(report)
+        if f.name != "eval_wall_seconds"
+    }
+
+
+def _window_facts(run):
+    """Deterministic fields of every WindowOutcome (drop design_seconds)."""
+    return [
+        (
+            w.window_index,
+            w.average_ms,
+            w.max_ms,
+            w.design_price_bytes,
+            w.structure_count,
+            w.query_cost_calls,
+            w.raw_cost_model_calls,
+            w.cache_hit_rate,
+        )
+        for w in run.windows
+    ]
+
+
+# -- run_key ---------------------------------------------------------------------
+
+
+class TestRunKey:
+    def test_deterministic_and_sensitive(self):
+        assert run_key("a", 1, 2.5) == run_key("a", 1, 2.5)
+        assert run_key("a", 1) != run_key("a", 2)
+        assert run_key("a", 1) != run_key("a", 1, None)
+
+    def test_boundary_between_parts(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert run_key("ab", "c") != run_key("a", "bc")
+
+
+# -- the checkpointer ------------------------------------------------------------
+
+
+class TestCheckpointerUnit:
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunCheckpointer(tmp_path / "c", every=0)
+        with pytest.raises(ValueError):
+            RunCheckpointer(tmp_path / "c", crash_after=0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit", 1)
+        RunCheckpointer(path).save("unit", key, {"step": 3, "alpha": 2.5})
+        loaded = RunCheckpointer(path, resume=True).load("unit", key)
+        assert loaded == {"step": 3, "alpha": 2.5}
+
+    def test_load_without_resume_returns_none(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        RunCheckpointer(path).save("unit", key, {"x": 1})
+        assert RunCheckpointer(path, resume=False).load("unit", key) is None
+
+    def test_load_missing_file_returns_none(self, tmp_path):
+        ckpt = RunCheckpointer(tmp_path / "absent.ckpt", resume=True)
+        assert ckpt.load("unit", run_key("unit")) is None
+
+    def test_latest_snapshot_wins(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        writer = RunCheckpointer(path)
+        writer.save("unit", key, {"step": 1})
+        writer.save("unit", key, {"step": 2})
+        assert RunCheckpointer(path, resume=True).load("unit", key) == {"step": 2}
+
+    def test_flipped_payload_byte_is_corrupt(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        RunCheckpointer(path).save("unit", key, {"x": 1})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            RunCheckpointer(path, resume=True).load("unit", key)
+
+    def test_truncated_payload_is_corrupt(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        RunCheckpointer(path).save("unit", key, {"x": list(range(100))})
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(CheckpointCorruptError):
+            RunCheckpointer(path, resume=True).load("unit", key)
+
+    def test_missing_header_is_corrupt(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b"no newline here")
+        with pytest.raises(CheckpointCorruptError):
+            RunCheckpointer(path, resume=True).load("unit", run_key("unit"))
+
+    def test_foreign_magic_is_corrupt(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b'{"magic":"something-else"}\n')
+        with pytest.raises(CheckpointCorruptError):
+            RunCheckpointer(path, resume=True).load("unit", run_key("unit"))
+
+    def test_future_version_refused(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        RunCheckpointer(path).save("unit", key, {"x": 1})
+        raw = path.read_bytes()
+        newline = raw.find(b"\n")
+        header = json.loads(raw[:newline])
+        header["version"] = 999
+        path.write_bytes(json.dumps(header).encode() + raw[newline:])
+        with pytest.raises(CheckpointVersionError):
+            RunCheckpointer(path, resume=True).load("unit", key)
+
+    def test_kind_and_key_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        RunCheckpointer(path).save("replay", run_key("a"), {"x": 1})
+        reader = RunCheckpointer(path, resume=True)
+        with pytest.raises(CheckpointMismatchError):
+            reader.load("gamma_sweep", run_key("a"))
+        with pytest.raises(CheckpointMismatchError):
+            reader.load("replay", run_key("b"))
+
+    def test_every_gates_writes_and_payload_calls(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        calls = []
+        ckpt = RunCheckpointer(path, every=3)
+        for step in range(7):
+            wrote = ckpt.step("unit", key, lambda: calls.append(1) or {"s": 1})
+            assert wrote == ((step + 1) % 3 == 0)
+        # Skipped boundaries must never pay for payload construction.
+        assert len(calls) == 2
+        assert ckpt.writes == 2
+        assert ckpt.steps == 7
+
+    def test_simulated_crash_leaves_a_durable_snapshot(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        ckpt = RunCheckpointer(path, crash_after=2)
+        ckpt.save("unit", key, {"step": 1})
+        with pytest.raises(SimulatedCrash):
+            ckpt.save("unit", key, {"step": 2})
+        # The write that "crashed" completed first — exactly like SIGKILL
+        # immediately after a durable checkpoint.
+        assert RunCheckpointer(path, resume=True).load("unit", key) == {"step": 2}
+
+    def test_simulated_crash_not_caught_by_except_exception(self, tmp_path):
+        ckpt = RunCheckpointer(tmp_path / "c", crash_after=1)
+        with pytest.raises(SimulatedCrash):
+            try:
+                ckpt.save("unit", run_key("u"), {})
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must escape except Exception")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        RunCheckpointer(path).save("unit", run_key("u"), {"x": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]
+
+    def test_save_failure_removes_temp_file(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        ckpt = RunCheckpointer(path)
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            ckpt.save("unit", run_key("u"), Unpicklable())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_metrics_and_events(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        key = run_key("unit")
+        registry = MetricsRegistry()
+        buffer = io.StringIO()
+        tracer = RunTracer(buffer, clock=lambda: 0.0)
+        previous = set_tracer(tracer)
+        try:
+            ckpt = RunCheckpointer(path, every=2, metrics=registry)
+            ckpt.step("unit", key, dict)
+            ckpt.step("unit", key, dict)
+            RunCheckpointer(path, resume=True, metrics=registry).load("unit", key)
+        finally:
+            set_tracer(previous)
+        snap = registry.snapshot()
+        assert snap["state.checkpoint_writes"] == 1
+        assert snap["state.checkpoint_skips"] == 1
+        assert snap["state.checkpoint_loads"] == 1
+        assert snap["state.payload_bytes"] > 0
+        assert snap["state.write_seconds"]["count"] == 1
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        names = [e["event"] for e in events]
+        assert names == ["checkpoint_write", "checkpoint_load"]
+        assert events[0]["kind"] == "unit"
+        assert events[0]["bytes"] > 0
+
+
+# -- CliffGuard resume equivalence ----------------------------------------------
+
+
+class TestCliffGuardResume:
+    def _design(self, tiny_star, tiny_trace, tiny_windows, substrate, ckpt=None):
+        """One fresh CliffGuard run (new adapter/sampler every call)."""
+        schema, _ = tiny_star
+        window = tiny_windows[1]
+        adapter, nominal = _stack(substrate, schema)
+        sampler = _sampler(schema, tiny_trace, window)
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=3, max_iterations=2
+        )
+        robust.checkpointer = ckpt
+        design = robust.design(window)
+        return design, robust.last_report
+
+    @pytest.mark.parametrize("substrate", ["columnar", "rowstore", "samples"])
+    def test_kill_at_every_boundary_resumes_bit_identical(
+        self, tmp_path, tiny_star, tiny_trace, tiny_windows, substrate
+    ):
+        baseline_design, baseline_report = self._design(
+            tiny_star, tiny_trace, tiny_windows, substrate
+        )
+        # Count the run's checkpoint boundaries with an uncrashed pass.
+        probe = RunCheckpointer(tmp_path / f"{substrate}.probe.ckpt")
+        probe_design, probe_report = self._design(
+            tiny_star, tiny_trace, tiny_windows, substrate, probe
+        )
+        assert probe_design == baseline_design
+        assert _report_facts(probe_report) == _report_facts(baseline_report)
+        assert probe.writes >= 2
+
+        for boundary in range(1, probe.writes + 1):
+            path = tmp_path / f"{substrate}.{boundary}.ckpt"
+            with pytest.raises(SimulatedCrash):
+                self._design(
+                    tiny_star,
+                    tiny_trace,
+                    tiny_windows,
+                    substrate,
+                    RunCheckpointer(path, crash_after=boundary),
+                )
+            design, report = self._design(
+                tiny_star,
+                tiny_trace,
+                tiny_windows,
+                substrate,
+                RunCheckpointer(path, resume=True),
+            )
+            assert design == baseline_design, f"boundary {boundary}"
+            assert _report_facts(report) == _report_facts(baseline_report), (
+                f"boundary {boundary}"
+            )
+
+    def test_mismatched_configuration_refuses_to_resume(
+        self, tmp_path, tiny_star, tiny_trace, tiny_windows
+    ):
+        path = tmp_path / "run.ckpt"
+        schema, _ = tiny_star
+        window = tiny_windows[1]
+        adapter, nominal = _stack("columnar", schema)
+        robust = CliffGuard(
+            nominal,
+            adapter,
+            _sampler(schema, tiny_trace, window),
+            gamma=0.005,
+            n_samples=3,
+            max_iterations=2,
+        )
+        robust.checkpointer = RunCheckpointer(path)
+        robust.design(window)
+        other = CliffGuard(
+            nominal,
+            adapter,
+            _sampler(schema, tiny_trace, window),
+            gamma=0.01,  # different run identity
+            n_samples=3,
+            max_iterations=2,
+        )
+        other.checkpointer = RunCheckpointer(path, resume=True)
+        with pytest.raises(CheckpointMismatchError):
+            other.design(window)
+
+    def test_patience_stop_resumes_identically(
+        self, tmp_path, tiny_star, tiny_trace, tiny_windows
+    ):
+        """A run that stops early must not restart its loop on resume."""
+
+        def run(ckpt=None):
+            schema, _ = tiny_star
+            window = tiny_windows[1]
+            adapter, nominal = _stack("columnar", schema)
+            robust = CliffGuard(
+                nominal,
+                adapter,
+                _sampler(schema, tiny_trace, window),
+                gamma=0.005,
+                n_samples=3,
+                max_iterations=4,
+                patience=1,
+            )
+            robust.checkpointer = ckpt
+            return robust.design(window), robust.last_report
+
+        baseline_design, baseline_report = run()
+        probe = RunCheckpointer(tmp_path / "probe.ckpt")
+        run(probe)
+        for boundary in range(1, probe.writes + 1):
+            path = tmp_path / f"patience.{boundary}.ckpt"
+            with pytest.raises(SimulatedCrash):
+                run(RunCheckpointer(path, crash_after=boundary))
+            design, report = run(RunCheckpointer(path, resume=True))
+            assert design == baseline_design
+            assert _report_facts(report) == _report_facts(baseline_report)
+
+
+# -- replay / scheduled replay resume -------------------------------------------
+
+
+class TestReplayResume:
+    def _replay(self, tiny_star, tiny_trace, tiny_windows, ckpt=None):
+        schema, _ = tiny_star
+        adapter, nominal = _stack("columnar", schema)
+        sampler = _sampler(schema, tiny_trace, tiny_windows[1])
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=3, max_iterations=1
+        )
+        return replay(
+            tiny_windows,
+            {"ExistingDesigner": nominal, "CliffGuard": robust},
+            adapter,
+            candidate_source=nominal,
+            workload_name="tiny",
+            checkpointer=ckpt,
+        )
+
+    def test_kill_at_every_window_resumes_bit_identical(
+        self, tmp_path, tiny_star, tiny_trace, tiny_windows
+    ):
+        baseline = self._replay(tiny_star, tiny_trace, tiny_windows)
+        probe = RunCheckpointer(tmp_path / "probe.ckpt")
+        probed = self._replay(tiny_star, tiny_trace, tiny_windows, probe)
+        assert probed.evaluated_query_counts == baseline.evaluated_query_counts
+        assert probe.writes >= 2
+
+        for boundary in range(1, probe.writes + 1):
+            path = tmp_path / f"replay.{boundary}.ckpt"
+            with pytest.raises(SimulatedCrash):
+                self._replay(
+                    tiny_star,
+                    tiny_trace,
+                    tiny_windows,
+                    RunCheckpointer(path, crash_after=boundary),
+                )
+            resumed = self._replay(
+                tiny_star,
+                tiny_trace,
+                tiny_windows,
+                RunCheckpointer(path, resume=True),
+            )
+            assert resumed.evaluated_query_counts == baseline.evaluated_query_counts
+            for name in baseline.runs:
+                assert _window_facts(resumed.run(name)) == _window_facts(
+                    baseline.run(name)
+                ), f"{name} @ boundary {boundary}"
+
+
+class TestScheduledReplayResume:
+    def _run(self, tiny_star, tiny_trace, tiny_windows, ckpt=None):
+        schema, _ = tiny_star
+        adapter, nominal = _stack("columnar", schema)
+        sampler = _sampler(schema, tiny_trace, tiny_windows[1])
+        robust = CliffGuard(
+            nominal, adapter, sampler, gamma=0.005, n_samples=3, max_iterations=1
+        )
+        return scheduled_replay(
+            tiny_windows,
+            robust,
+            adapter,
+            PeriodicPolicy(every=2),
+            checkpointer=ckpt,
+        )
+
+    def test_kill_at_every_window_resumes_bit_identical(
+        self, tmp_path, tiny_star, tiny_trace, tiny_windows
+    ):
+        baseline = self._run(tiny_star, tiny_trace, tiny_windows)
+        probe = RunCheckpointer(tmp_path / "probe.ckpt")
+        assert self._run(tiny_star, tiny_trace, tiny_windows, probe) == baseline
+
+        for boundary in range(1, probe.writes + 1):
+            path = tmp_path / f"sched.{boundary}.ckpt"
+            with pytest.raises(SimulatedCrash):
+                self._run(
+                    tiny_star,
+                    tiny_trace,
+                    tiny_windows,
+                    RunCheckpointer(path, crash_after=boundary),
+                )
+            resumed = self._run(
+                tiny_star,
+                tiny_trace,
+                tiny_windows,
+                RunCheckpointer(path, resume=True),
+            )
+            # ScheduleOutcome has no wall-clock fields: exact equality.
+            assert resumed == baseline, f"boundary {boundary}"
+
+
+class TestPolicyState:
+    def test_periodic_roundtrip(self):
+        policy = PeriodicPolicy(every=3)
+        policy.should_redesign(2, None, None)
+        snapshot = policy.state()
+        assert pickle.loads(pickle.dumps(snapshot)) == {"last_redesign": 2}
+        policy.reset()
+        policy.restore(snapshot)
+        # Anchored at window 2: window 4 is within the period, 5 is not.
+        assert not policy.should_redesign(4, object(), None)
+        assert policy.should_redesign(5, object(), None)
+
+    def test_drift_triggered_roundtrip(self):
+        policy = DriftTriggeredPolicy(lambda a, b: 1.0, threshold=0.5)
+        policy.should_redesign(3, object(), object())
+        snapshot = policy.state()
+        policy.reset()
+        assert policy.triggers == []
+        policy.restore(snapshot)
+        assert policy.triggers == [3]
+        # The restored list must be a copy, not an alias of the snapshot.
+        policy.triggers.append(9)
+        assert snapshot == {"triggers": [3]}

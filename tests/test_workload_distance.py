@@ -213,3 +213,43 @@ class TestBoundedCaches:
 
         with pytest.raises(ValueError):
             _PerWorkloadCache("x", max_entries=0)
+
+
+class TestCrossProcessDeterminism:
+    """Regression: δ summed the template-diff vector in raw set-union
+    order, which follows per-process hash randomization — the same two
+    workloads measured in two Python processes differed in the last ulp,
+    so checkpoint run keys (docs/state.md) never matched across a real
+    crash/resume cycle.  The diff loop now sorts templates canonically."""
+
+    SCRIPT = (
+        "from repro.workload.distance import WorkloadDistance\n"
+        "from repro.workload.query import WorkloadQuery\n"
+        "from repro.workload.workload import Workload\n"
+        "cols = [f't.c{i}' for i in range(12)]\n"
+        "def q(names, f):\n"
+        "    return WorkloadQuery(\n"
+        "        sql='SELECT ' + ', '.join(names) + ' FROM t', frequency=f\n"
+        "    )\n"
+        "a = Workload([q(cols[i : i + 3], 1.0 + i) for i in range(9)])\n"
+        "b = Workload([q(cols[i : i + 2], 2.0 + i) for i in range(10)])\n"
+        "print(repr(WorkloadDistance(12)(a, b)))\n"
+    )
+
+    def test_distance_identical_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        outputs = set()
+        for hash_seed in ("0", "1", "20260806"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            result = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, f"δ varies with PYTHONHASHSEED: {outputs}"

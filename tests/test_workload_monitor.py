@@ -101,3 +101,19 @@ class TestDriftDetection:
         )  # 10 days of dense traffic
         # Measurements happen ~daily, not per query.
         assert len(monitor.readings) <= 12
+
+    def test_rebase_starts_a_fresh_measurement_cadence(self, monitor):
+        """Regression: ``rebase`` cleared the alarm refractory anchor but
+        not the measurement cadence anchor, so the first observations of
+        the new epoch were silently skipped until ``measure_every_days``
+        had elapsed since the *previous* epoch's last reading."""
+        monitor.observe_many(q(STABLE, float(d) / 2) for d in range(20))
+        monitor.rebase()
+        monitor.observe(q(STABLE, 10.0))  # measures, anchors the cadence
+        before = len(monitor.readings)
+        monitor.rebase()
+        # Well inside the old cadence window — a fresh epoch must still
+        # measure immediately.
+        monitor.observe(q(STABLE, 10.2))
+        assert len(monitor.readings) == before + 1
+        assert monitor.readings[-1].at_day == 10.2

@@ -1,5 +1,7 @@
 """Tests for Γ-neighborhood sampling (Algorithm 4) and query mutation."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -130,3 +132,26 @@ class TestSampler:
         schema, distance, base, _ = setup
         with pytest.raises(ValueError):
             NeighborhoodSampler(distance, schema, min_query_set=5, max_query_set=2)
+
+
+class TestReplacementWeightsEdgeCases:
+    def test_empty_options_return_empty_weights(self):
+        """Regression: an empty ``options`` list normalized a zero-sum
+        empty array (0/0 → NaN with a RuntimeWarning).  Single-column
+        tables offer no replacement, so the empty case is routine."""
+        affinity = ColumnAffinity()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails
+            weights = affinity.replacement_weights("t", ["a"], [])
+        assert weights.shape == (0,)
+        assert weights.dtype == np.float64
+        assert not np.isnan(weights).any()
+
+    def test_observed_affinity_still_normalizes(self, tiny_star, tiny_trace):
+        schema, _ = tiny_star
+        affinity = ColumnAffinity()
+        affinity.observe(tiny_trace)
+        table = sorted(t for t in schema.tables if t.startswith("fact"))[0]
+        options = schema.tables[table].column_names[:4]
+        weights = affinity.replacement_weights(table, options[:1], options)
+        assert weights.sum() == pytest.approx(1.0)
