@@ -22,6 +22,27 @@ Compiled layout:
   GROUP BY/ORDER BY sort-order matches — is folded into precomputed
   per-pair factor matrices during compilation.
 
+Compilation is split into two halves so workloads compile **once**:
+
+* :meth:`compile_queries` turns a profile batch into a *workload arena*
+  (:class:`ColumnarArena` / :class:`RowstoreArena` / :class:`SamplesArena`)
+  — every array that depends only on the queries and the schema.  Arenas
+  are immutable and design-independent, so the costing service caches
+  them by workload fingerprint and reuses them across CliffGuard
+  iterations, greedy sweeps, and replay windows;
+* :meth:`bind` attaches a structure set to an arena, computing only the
+  per-design masks and pair-factor matrices.  ``compile(profiles,
+  structures)`` is exactly ``bind(compile_queries(profiles),
+  structures)`` and remains the one-shot entry point.
+
+Bound batches additionally support **delta re-costing**
+(:meth:`~ColumnarBatch.delta_design_costs`): when a design changes by a
+single structure, only the queries whose access paths that structure can
+touch (its table is the query's anchor or one of its dimension tables)
+are re-priced; every other query keeps its previous cost, which is
+bit-identical by construction — an off-table structure contributes only
+``inf``/invalid cells to the min-reductions.
+
 Bit-identity contract (tolerance = 0): the kernels replicate the scalar
 models' floating-point operations *in the same order*, element-wise, so
 every cost is the exact float ``query_cost`` would have produced.  Two
@@ -55,8 +76,11 @@ from repro.costing.profile import QueryProfile, TableAccess
 from repro.rowstore.matview import MaterializedView
 
 __all__ = [
+    "ColumnarArena",
     "ColumnarKernel",
+    "RowstoreArena",
     "RowstoreKernel",
+    "SamplesArena",
     "SamplesKernel",
     "kernel_for",
 ]
@@ -217,6 +241,30 @@ def _related_mask(
     return related
 
 
+def _delta_design_costs(batch, members, changed_row: int, prev_costs) -> np.ndarray:
+    """Shared body of the per-substrate ``delta_design_costs`` methods.
+
+    ``prev_costs`` are the (Q,) per-query costs under the *previous*
+    design; ``members`` is the new member row set, which differs from the
+    previous one by exactly the structure in row ``changed_row`` (added
+    or removed — the math is symmetric).  Queries the changed structure
+    cannot touch keep their previous float verbatim; the rest are
+    re-priced through the full min-reduction, restricted to the affected
+    query subset (``take`` + ``design_costs`` — element-wise per query,
+    so the subset evaluation is bit-identical to a full one).
+    """
+    out = np.array(prev_costs, dtype=np.float64, copy=True)
+    if out.shape[0] != batch.query_count:
+        raise ValueError(
+            f"prev_costs has {out.shape[0]} entries for "
+            f"{batch.query_count} compiled queries"
+        )
+    affected = np.flatnonzero(batch.affected_queries(changed_row))
+    if affected.size:
+        out[affected] = batch.take(affected).design_costs(members)
+    return out
+
+
 # -- columnar ---------------------------------------------------------------------
 
 
@@ -281,30 +329,42 @@ class ColumnarBatch:
 
     # -- matrices ----------------------------------------------------------------
 
-    def _anchor_matrix(self) -> np.ndarray:
-        """(S, Q) full anchor-path cost, inf where the projection cannot
-        serve the query (wrong table or missing columns)."""
+    def _anchor_matrix(self, rows_s=None) -> np.ndarray:
+        """(S', Q) full anchor-path cost, inf where the projection cannot
+        serve the query (wrong table or missing columns).  ``rows_s``
+        restricts the structure axis (None = all rows): the sliced
+        computation is element-wise identical to slicing the full matrix,
+        without materializing the unused rows."""
         a = self.anchor_acc
         rows = self.acc_rows[a]
-        prefix = self.prefix[:, a]
+        prefix = self.prefix[:, a] if rows_s is None else self.prefix[rows_s][:, a]
+        sorted_groups = (
+            self.sorted_groups if rows_s is None else self.sorted_groups[rows_s]
+        )
+        order_free = self.order_free if rows_s is None else self.order_free[rows_s]
+        scan_valid = (
+            self.scan_valid[:, a] if rows_s is None else self.scan_valid[rows_s][:, a]
+        )
         rows_scanned = np.maximum(rows[None, :] * prefix, 1.0)
         cost = (rows_scanned * self.acc_needed_bytes[a][None, :]) * _col.BYTE_COST_MS
         cost = cost + (rows_scanned * self.acc_pred[a][None, :]) * _col.PREDICATE_COST_MS
         agg = np.where(
-            self.sorted_groups, self.agg_sorted_add[None, :], self.agg_hash_add[None, :]
+            sorted_groups, self.agg_sorted_add[None, :], self.agg_hash_add[None, :]
         )
         cost = cost + np.where(self.has_group[None, :], agg, 0.0)
-        needs_sort = self.has_order[None, :] & ~self.order_free
+        needs_sort = self.has_order[None, :] & ~order_free
         cost = cost + np.where(needs_sort, self.sort_add[None, :], 0.0)
         cost = cost + (rows_scanned * self.n_dims[None, :]) * _col.JOIN_PROBE_COST_MS
-        return np.where(self.scan_valid[:, a], cost, np.inf)
+        return np.where(scan_valid, cost, np.inf)
 
-    def _dim_scan_matrix(self) -> np.ndarray:
-        """(S, A) projection scan cost per access, inf where unusable."""
-        rows_scanned = np.maximum(self.acc_rows[None, :] * self.prefix, 1.0)
+    def _dim_scan_matrix(self, rows_s=None) -> np.ndarray:
+        """(S', A) projection scan cost per access, inf where unusable."""
+        prefix = self.prefix if rows_s is None else self.prefix[rows_s]
+        scan_valid = self.scan_valid if rows_s is None else self.scan_valid[rows_s]
+        rows_scanned = np.maximum(self.acc_rows[None, :] * prefix, 1.0)
         cost = (rows_scanned * self.acc_needed_bytes[None, :]) * _col.BYTE_COST_MS
         cost = cost + (rows_scanned * self.acc_pred[None, :]) * _col.PREDICATE_COST_MS
-        return np.where(self.scan_valid, cost, np.inf)
+        return np.where(scan_valid, cost, np.inf)
 
     # -- evaluation --------------------------------------------------------------
 
@@ -323,16 +383,32 @@ class ColumnarBatch:
             else np.asarray(members, dtype=np.intp)
         )
         if members.size:
-            anchor = self._anchor_matrix()[members]
+            anchor = self._anchor_matrix(members)
             best = np.minimum(self.super_anchor, anchor.min(axis=0))
             dim_best = np.minimum(
-                self.acc_super_scan, self._dim_scan_matrix()[members].min(axis=0)
+                self.acc_super_scan, self._dim_scan_matrix(members).min(axis=0)
             )
         else:
             best = self.super_anchor
             dim_best = self.acc_super_scan
         total = _dim_sum_vector(self.dim_pad, dim_best + self.acc_build_add)
         return (_col.QUERY_OVERHEAD_MS + best) + total
+
+    def affected_queries(self, row: int) -> np.ndarray:
+        """(Q,) bool: queries whose cost can change when structure ``row``
+        enters or leaves a design (its table is the query's anchor table
+        or one of its dimension tables)."""
+        return _related_mask(
+            self.struct_table[row : row + 1],
+            self.acc_table[self.anchor_acc],
+            self.acc_table,
+            self.dim_pad,
+        )[0]
+
+    def delta_design_costs(self, members, changed_row: int, prev_costs) -> np.ndarray:
+        """(Q,) costs under ``members``, re-pricing only the queries the
+        single changed structure can touch (see :func:`_delta_design_costs`)."""
+        return _delta_design_costs(self, members, changed_row, prev_costs)
 
     def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
         """``(price, unservable)`` masks for the greedy candidate matrix.
@@ -366,6 +442,56 @@ class ColumnarBatch:
         return (_col.QUERY_OVERHEAD_MS + best) + total
 
 
+@dataclass
+class ColumnarArena:
+    """Query-side compiled state for the columnar substrate.
+
+    Everything here depends only on the profiles and the schema — never
+    on any structure — so one arena serves every design bound against it
+    (:meth:`ColumnarKernel.bind`).  Arenas are immutable once built.
+    """
+
+    sqls: list[str]
+    bits: _ColumnBits
+    accesses: list[TableAccess]
+    acc_table: np.ndarray
+    acc_rows: np.ndarray
+    acc_needed_bytes: np.ndarray
+    acc_pred: np.ndarray
+    acc_super_scan: np.ndarray
+    acc_build_add: np.ndarray
+    acc_mask: np.ndarray
+    anchor_acc: np.ndarray
+    dim_pad: np.ndarray
+    super_anchor: np.ndarray
+    has_group: np.ndarray
+    has_order: np.ndarray
+    agg_sorted_add: np.ndarray
+    agg_hash_add: np.ndarray
+    sort_add: np.ndarray
+    n_dims: np.ndarray
+    #: (anchor table id, group-by set / order-by tuple) -> query rows.
+    group_queries: dict
+    order_queries: dict
+
+    @property
+    def query_count(self) -> int:
+        return len(self.sqls)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the compiled arrays."""
+        return _arena_nbytes(self)
+
+
+def _arena_nbytes(arena) -> int:
+    total = 0
+    for value in vars(arena).values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+    return total
+
+
 class ColumnarKernel:
     """Compiles and batch-prices the columnar (projection) substrate."""
 
@@ -375,9 +501,12 @@ class ColumnarKernel:
         self.model = model
 
     def compile(self, profiles, structures) -> ColumnarBatch:
+        """One-shot compile: ``bind(compile_queries(profiles), structures)``."""
+        return self.bind(self.compile_queries(profiles), structures)
+
+    def compile_queries(self, profiles) -> ColumnarArena:
         model = self.model
         profiles = list(profiles)
-        structures = list(structures)
         bits = _ColumnBits(model.schema)
         table = _compile_accesses(profiles)
         accesses = table.accesses
@@ -400,11 +529,83 @@ class ColumnarKernel:
             acc_build_add[i] = rows * _col.JOIN_BUILD_COST_MS
 
         acc_mask = bits.masks([(a.table, a.needed_columns) for a in accesses])
+
+        # Per-query folded terms (all log2 work happens here, scalarly).
+        count = len(profiles)
+        super_anchor = np.zeros(count, dtype=np.float64)
+        has_group = np.zeros(count, dtype=bool)
+        has_order = np.zeros(count, dtype=bool)
+        agg_sorted_add = np.zeros(count, dtype=np.float64)
+        agg_hash_add = np.zeros(count, dtype=np.float64)
+        sort_add = np.zeros(count, dtype=np.float64)
+        n_dims = np.zeros(count, dtype=np.float64)
+        for q, profile in enumerate(profiles):
+            access = profile.anchor
+            super_anchor[q] = model.projection_cost(
+                profile, model._super[access.table]
+            )
+            has_group[q] = bool(profile.group_by)
+            has_order[q] = bool(profile.order_by)
+            n_dims[q] = float(len(profile.dimensions))
+            rows_out = max(access.row_count * access.total_selectivity, 1.0)
+            agg_sorted_add[q] = rows_out * _col.SORTED_AGG_COST_MS
+            agg_hash_add[q] = rows_out * _col.HASH_AGG_COST_MS
+            if profile.group_by:
+                result_rows = max(min(profile.group_cardinality, rows_out), 1.0)
+            else:
+                result_rows = rows_out
+            if profile.order_by:
+                n = max(result_rows, 2.0)
+                sort_add[q] = n * math.log2(n) * _col.SORT_COST_MS
+
+        # Group/order combinations: queries are template-derived, so
+        # distinct (anchor table, group-by set) / (anchor table, order-by
+        # tuple) pairs are few; the bind step evaluates each combination
+        # once per table's structures instead of per (structure, query).
+        anchor_tid = acc_table[table.anchor_acc]
+        group_queries: dict[tuple[int, tuple], list[int]] = {}
+        order_queries: dict[tuple[int, tuple], list[int]] = {}
+        for q, (profile, tid) in enumerate(zip(profiles, anchor_tid.tolist())):
+            if profile.group_by:
+                key = (tid, tuple(profile.group_by))
+                group_queries.setdefault(key, []).append(q)
+            elif profile.order_by:
+                order_queries.setdefault((tid, profile.order_by), []).append(q)
+
+        return ColumnarArena(
+            sqls=[p.sql for p in profiles],
+            bits=bits,
+            accesses=accesses,
+            acc_table=acc_table,
+            acc_rows=acc_rows,
+            acc_needed_bytes=acc_needed_bytes,
+            acc_pred=acc_pred,
+            acc_super_scan=acc_super_scan,
+            acc_build_add=acc_build_add,
+            acc_mask=acc_mask,
+            anchor_acc=table.anchor_acc,
+            dim_pad=table.dim_pad,
+            super_anchor=super_anchor,
+            has_group=has_group,
+            has_order=has_order,
+            agg_sorted_add=agg_sorted_add,
+            agg_hash_add=agg_hash_add,
+            sort_add=sort_add,
+            n_dims=n_dims,
+            group_queries=group_queries,
+            order_queries=order_queries,
+        )
+
+    def bind(self, arena: ColumnarArena, structures) -> ColumnarBatch:
+        structures = list(structures)
+        bits = arena.bits
+        accesses = arena.accesses
+        acc_table = arena.acc_table
         struct_table = np.array(
             [bits.table_id(s.table) for s in structures], dtype=np.int64
         ).reshape(len(structures))
         struct_mask = bits.masks([(s.table, s.columns) for s in structures])
-        scan_valid = _covered(acc_mask, struct_mask) & (
+        scan_valid = _covered(arena.acc_mask, struct_mask) & (
             struct_table[:, None] == acc_table[None, :]
         )
 
@@ -461,57 +662,21 @@ class ColumnarKernel:
                     alive = alive & eq_hit[:, j]
                 prefix[rows_s, a] = total
 
-        # Per-query folded terms (all log2 work happens here, scalarly).
-        count = len(profiles)
-        super_anchor = np.zeros(count, dtype=np.float64)
-        has_group = np.zeros(count, dtype=bool)
-        has_order = np.zeros(count, dtype=bool)
-        agg_sorted_add = np.zeros(count, dtype=np.float64)
-        agg_hash_add = np.zeros(count, dtype=np.float64)
-        sort_add = np.zeros(count, dtype=np.float64)
-        n_dims = np.zeros(count, dtype=np.float64)
-        for q, profile in enumerate(profiles):
-            access = profile.anchor
-            super_anchor[q] = model.projection_cost(
-                profile, model._super[access.table]
-            )
-            has_group[q] = bool(profile.group_by)
-            has_order[q] = bool(profile.order_by)
-            n_dims[q] = float(len(profile.dimensions))
-            rows_out = max(access.row_count * access.total_selectivity, 1.0)
-            agg_sorted_add[q] = rows_out * _col.SORTED_AGG_COST_MS
-            agg_hash_add[q] = rows_out * _col.HASH_AGG_COST_MS
-            if profile.group_by:
-                result_rows = max(min(profile.group_cardinality, rows_out), 1.0)
-            else:
-                result_rows = rows_out
-            if profile.order_by:
-                n = max(result_rows, 2.0)
-                sort_add[q] = n * math.log2(n) * _col.SORT_COST_MS
-
         # Pair booleans: GROUP BY streaming and ORDER BY-free matches.
-        # Queries are template-derived, so distinct (anchor table,
-        # group-by set) and (anchor table, order-by tuple) combinations
-        # are few; evaluating each combination once against the per-table
+        # The arena pre-grouped queries by distinct (anchor table,
+        # group-by set) / (anchor table, order-by tuple) combination;
+        # evaluating each combination once against the per-table
         # structures replaces the per-(structure, query) Python loop.
+        count = arena.query_count
         sorted_groups = np.zeros((len(structures), count), dtype=bool)
         order_free = np.zeros((len(structures), count), dtype=bool)
-        anchor_tid = acc_table[table.anchor_acc]
         rows_by_table: dict[int, list[int]] = {}
         for s, tid in enumerate(struct_table.tolist()):
             rows_by_table.setdefault(tid, []).append(s)
         structs_of = {
             tid: np.array(rows, dtype=np.intp) for tid, rows in rows_by_table.items()
         }
-        group_queries: dict[tuple[int, tuple], list[int]] = {}
-        order_queries: dict[tuple[int, tuple], list[int]] = {}
-        for q, (profile, tid) in enumerate(zip(profiles, anchor_tid.tolist())):
-            if profile.group_by:
-                key = (tid, tuple(profile.group_by))
-                group_queries.setdefault(key, []).append(q)
-            elif profile.order_by:
-                order_queries.setdefault((tid, profile.order_by), []).append(q)
-        for (tid, group_by), qs in group_queries.items():
+        for (tid, group_by), qs in arena.group_queries.items():
             rows_s = structs_of.get(tid)
             if rows_s is None:
                 continue
@@ -528,7 +693,7 @@ class ColumnarKernel:
             )
             if hits.any():
                 sorted_groups[np.ix_(rows_s[hits], qs)] = True
-        for (tid, order_by), qs in order_queries.items():
+        for (tid, order_by), qs in arena.order_queries.items():
             rows_s = structs_of.get(tid)
             if rows_s is None:
                 continue
@@ -542,26 +707,26 @@ class ColumnarKernel:
                 order_free[np.ix_(rows_s[hits], qs)] = True
 
         return ColumnarBatch(
-            sqls=[p.sql for p in profiles],
+            sqls=list(arena.sqls),
             words=bits.words,
             struct_table=struct_table,
             acc_table=acc_table,
-            acc_rows=acc_rows,
-            acc_needed_bytes=acc_needed_bytes,
-            acc_pred=acc_pred,
-            acc_super_scan=acc_super_scan,
-            acc_build_add=acc_build_add,
+            acc_rows=arena.acc_rows,
+            acc_needed_bytes=arena.acc_needed_bytes,
+            acc_pred=arena.acc_pred,
+            acc_super_scan=arena.acc_super_scan,
+            acc_build_add=arena.acc_build_add,
             scan_valid=scan_valid,
             prefix=prefix,
-            anchor_acc=table.anchor_acc,
-            dim_pad=table.dim_pad,
-            super_anchor=super_anchor,
-            has_group=has_group,
-            has_order=has_order,
-            agg_sorted_add=agg_sorted_add,
-            agg_hash_add=agg_hash_add,
-            sort_add=sort_add,
-            n_dims=n_dims,
+            anchor_acc=arena.anchor_acc,
+            dim_pad=arena.dim_pad,
+            super_anchor=arena.super_anchor,
+            has_group=arena.has_group,
+            has_order=arena.has_order,
+            agg_sorted_add=arena.agg_sorted_add,
+            agg_hash_add=arena.agg_hash_add,
+            sort_add=arena.sort_add,
+            n_dims=arena.n_dims,
             sorted_groups=sorted_groups,
             order_free=order_free,
         )
@@ -620,24 +785,32 @@ class RowstoreBatch:
             view_cost=self.view_cost[:, idx],
         )
 
-    def _index_access_matrix(self) -> np.ndarray:
-        """(S, A) cost of driving each access through each index."""
-        matched = np.maximum(self.acc_rows[None, :] * self.seek_sel, 1.0)
+    def _index_access_matrix(self, rows_s=None) -> np.ndarray:
+        """(S, A) cost of driving each access through each index.
+
+        ``rows_s`` restricts the structure axis *before* any elementwise
+        work, so member-sized designs never materialize the full matrix.
+        """
+        sl = slice(None) if rows_s is None else rows_s
+        matched = np.maximum(self.acc_rows[None, :] * self.seek_sel[sl], 1.0)
         fetch = np.where(
-            self.covering,
-            (matched * self.key_bytes[:, None]) * _row.BYTE_COST_MS,
+            self.covering[sl],
+            (matched * self.key_bytes[sl][:, None]) * _row.BYTE_COST_MS,
             ((matched * self.acc_row_bytes[None, :]) * _row.BYTE_COST_MS)
             * _row.RANDOM_READ_FACTOR,
         )
         cost = self.acc_seek_add[None, :] + fetch
-        remaining = np.maximum(self.acc_pred[None, :] - self.seek_depth, 0.0)
+        remaining = np.maximum(self.acc_pred[None, :] - self.seek_depth[sl], 0.0)
         cost = cost + (matched * remaining) * _row.PREDICATE_COST_MS
-        return np.where(self.seek_valid, cost, np.inf)
+        return np.where(self.seek_valid[sl], cost, np.inf)
 
-    def _anchor_matrix(self) -> np.ndarray:
+    def _anchor_matrix(self, rows_s=None) -> np.ndarray:
         """(S, Q) full query cost via each structure's anchor path."""
-        idx_anchor = self._index_access_matrix()[:, self.anchor_acc] + self.post[None, :]
-        return np.where(self.is_view[:, None], self.view_cost, idx_anchor)
+        sl = slice(None) if rows_s is None else rows_s
+        idx_anchor = (
+            self._index_access_matrix(rows_s)[:, self.anchor_acc] + self.post[None, :]
+        )
+        return np.where(self.is_view[sl][:, None], self.view_cost[sl], idx_anchor)
 
     def base_costs(self) -> np.ndarray:
         total = _dim_sum_vector(self.dim_pad, self.acc_base_scan + self.acc_build_add)
@@ -650,15 +823,30 @@ class RowstoreBatch:
             else np.asarray(members, dtype=np.intp)
         )
         if members.size:
-            best = np.minimum(self.base_path, self._anchor_matrix()[members].min(axis=0))
+            best = np.minimum(self.base_path, self._anchor_matrix(members).min(axis=0))
             dim_best = np.minimum(
-                self.acc_base_scan, self._index_access_matrix()[members].min(axis=0)
+                self.acc_base_scan, self._index_access_matrix(members).min(axis=0)
             )
         else:
             best = self.base_path
             dim_best = self.acc_base_scan
         total = _dim_sum_vector(self.dim_pad, dim_best + self.acc_build_add)
         return (_row.QUERY_OVERHEAD_MS + best) + total
+
+    def affected_queries(self, row: int) -> np.ndarray:
+        """(Q,) bool: queries whose cost can change when structure ``row``
+        enters or leaves a design (its table is the query's anchor or one
+        of its dimension tables; views only answer anchor-table queries)."""
+        return _related_mask(
+            self.struct_table[row : row + 1],
+            self.acc_table[self.anchor_acc],
+            self.acc_table,
+            self.dim_pad,
+        )[0]
+
+    def delta_design_costs(self, members, changed_row: int, prev_costs) -> np.ndarray:
+        """Re-price only the queries structure ``changed_row`` can touch."""
+        return _delta_design_costs(self, members, changed_row, prev_costs)
 
     def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
         anchor = self._anchor_matrix()
@@ -680,6 +868,42 @@ class RowstoreBatch:
         return (_row.QUERY_OVERHEAD_MS + best) + total
 
 
+@dataclass
+class RowstoreArena:
+    """Query-side compiled state for the row-store substrate.
+
+    Keeps the source :class:`QueryProfile` list (unlike the other
+    arenas): materialized-view rollup costs go through the scalar
+    ``model._view_cost(profile, view)`` at bind time, pair by pair.
+    """
+
+    sqls: list[str]
+    bits: _ColumnBits
+    accesses: list[TableAccess]
+    profiles: list[QueryProfile]
+    acc_table: np.ndarray
+    acc_rows: np.ndarray
+    acc_row_bytes: np.ndarray
+    acc_pred: np.ndarray
+    acc_seek_add: np.ndarray
+    acc_base_scan: np.ndarray
+    acc_build_add: np.ndarray
+    acc_mask: np.ndarray
+    anchor_acc: np.ndarray
+    dim_pad: np.ndarray
+    base_path: np.ndarray
+    post: np.ndarray
+
+    @property
+    def query_count(self) -> int:
+        return len(self.sqls)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the compiled arrays."""
+        return _arena_nbytes(self)
+
+
 class RowstoreKernel:
     """Compiles and batch-prices the row-store (index/view) substrate."""
 
@@ -689,9 +913,12 @@ class RowstoreKernel:
         self.model = model
 
     def compile(self, profiles, structures) -> RowstoreBatch:
+        """One-shot compile: ``bind(compile_queries(profiles), structures)``."""
+        return self.bind(self.compile_queries(profiles), structures)
+
+    def compile_queries(self, profiles) -> RowstoreArena:
         model = self.model
         profiles = list(profiles)
-        structures = list(structures)
         bits = _ColumnBits(model.schema)
         table = _compile_accesses(profiles)
         accesses = table.accesses
@@ -715,6 +942,46 @@ class RowstoreKernel:
             rows = max(access.row_count * access.total_selectivity, 1.0)
             acc_build_add[i] = rows * _row.JOIN_BUILD_COST_MS
 
+        acc_mask = (
+            np.stack([bits.mask(a.table, a.needed_columns) for a in accesses])
+            if accesses
+            else np.zeros((0, bits.words), dtype=np.uint64)
+        )
+
+        count = len(profiles)
+        base_path = np.zeros(count, dtype=np.float64)
+        post = np.zeros(count, dtype=np.float64)
+        for q, profile in enumerate(profiles):
+            post[q] = model._post_cost(profile)
+            base_path[q] = model._scan_cost(profile.anchor) + model._post_cost(profile)
+
+        return RowstoreArena(
+            sqls=[p.sql for p in profiles],
+            bits=bits,
+            accesses=accesses,
+            profiles=profiles,
+            acc_table=acc_table,
+            acc_rows=acc_rows,
+            acc_row_bytes=acc_row_bytes,
+            acc_pred=acc_pred,
+            acc_seek_add=acc_seek_add,
+            acc_base_scan=acc_base_scan,
+            acc_build_add=acc_build_add,
+            acc_mask=acc_mask,
+            anchor_acc=table.anchor_acc,
+            dim_pad=table.dim_pad,
+            base_path=base_path,
+            post=post,
+        )
+
+    def bind(self, arena: RowstoreArena, structures) -> RowstoreBatch:
+        model = self.model
+        structures = list(structures)
+        bits = arena.bits
+        accesses = arena.accesses
+        profiles = arena.profiles
+        acc_table = arena.acc_table
+
         is_view = np.array(
             [isinstance(s, MaterializedView) for s in structures], dtype=bool
         ).reshape(len(structures))
@@ -722,11 +989,7 @@ class RowstoreKernel:
             [bits.table_id(s.table) for s in structures], dtype=np.int64
         ).reshape(len(structures))
         key_bytes = np.zeros(len(structures), dtype=np.float64)
-        acc_mask = (
-            np.stack([bits.mask(a.table, a.needed_columns) for a in accesses])
-            if accesses
-            else np.zeros((0, bits.words), dtype=np.uint64)
-        )
+        acc_mask = arena.acc_mask
         index_mask = np.zeros((len(structures), bits.words), dtype=np.uint64)
         for s, structure in enumerate(structures):
             if is_view[s]:
@@ -767,15 +1030,9 @@ class RowstoreKernel:
                 seek_sel[s, a] = selectivity
                 seek_depth[s, a] = float(depth)
 
-        count = len(profiles)
-        base_path = np.zeros(count, dtype=np.float64)
-        post = np.zeros(count, dtype=np.float64)
-        for q, profile in enumerate(profiles):
-            post[q] = model._post_cost(profile)
-            base_path[q] = model._scan_cost(profile.anchor) + model._post_cost(profile)
-
         # View rollup costs are per (view, query) through a log2 term, so
         # they are folded pair-by-pair with the scalar helper itself.
+        count = arena.query_count
         view_cost = np.full((len(structures), count), np.inf, dtype=np.float64)
         for s, structure in enumerate(structures):
             if not is_view[s]:
@@ -786,26 +1043,26 @@ class RowstoreKernel:
                     view_cost[s, q] = cost
 
         return RowstoreBatch(
-            sqls=[p.sql for p in profiles],
+            sqls=list(arena.sqls),
             words=bits.words,
             struct_table=struct_table,
             is_view=is_view,
             key_bytes=key_bytes,
             acc_table=acc_table,
-            acc_rows=acc_rows,
-            acc_row_bytes=acc_row_bytes,
-            acc_pred=acc_pred,
-            acc_seek_add=acc_seek_add,
-            acc_base_scan=acc_base_scan,
-            acc_build_add=acc_build_add,
+            acc_rows=arena.acc_rows,
+            acc_row_bytes=arena.acc_row_bytes,
+            acc_pred=arena.acc_pred,
+            acc_seek_add=arena.acc_seek_add,
+            acc_base_scan=arena.acc_base_scan,
+            acc_build_add=arena.acc_build_add,
             seek_valid=seek_valid,
             seek_sel=seek_sel,
             seek_depth=seek_depth,
             covering=covering,
-            anchor_acc=table.anchor_acc,
-            dim_pad=table.dim_pad,
-            base_path=base_path,
-            post=post,
+            anchor_acc=arena.anchor_acc,
+            dim_pad=arena.dim_pad,
+            base_path=arena.base_path,
+            post=arena.post,
             view_cost=view_cost,
         )
 
@@ -856,16 +1113,21 @@ class SamplesBatch:
             valid=self.valid[:, idx],
         )
 
-    def _sample_matrix(self) -> np.ndarray:
-        """(S, Q) sample scan cost, inf where the sample cannot answer."""
-        rows = self.sample_rows[:, None]
+    def _sample_matrix(self, rows_s=None) -> np.ndarray:
+        """(S, Q) sample scan cost, inf where the sample cannot answer.
+
+        ``rows_s`` restricts the structure axis *before* any elementwise
+        work, so member-sized designs never materialize the full matrix.
+        """
+        sl = slice(None) if rows_s is None else rows_s
+        rows = self.sample_rows[sl][:, None]
         cost = (rows * self.needed_bytes[None, :]) * _smp.BYTE_COST_MS
         cost = cost + (rows * self.pred[None, :]) * _smp.PREDICATE_COST_MS
         filtered = np.maximum(rows * self.total_sel[None, :], 1.0)
         cost = cost + np.where(
             self.agg_flag[None, :], filtered * _smp.HASH_AGG_COST_MS, 0.0
         )
-        return np.where(self.valid, cost, np.inf)
+        return np.where(self.valid[sl], cost, np.inf)
 
     def base_costs(self) -> np.ndarray:
         return _smp.QUERY_OVERHEAD_MS + self.exact
@@ -877,10 +1139,20 @@ class SamplesBatch:
             else np.asarray(members, dtype=np.intp)
         )
         if members.size:
-            best = np.minimum(self.exact, self._sample_matrix()[members].min(axis=0))
+            best = np.minimum(self.exact, self._sample_matrix(members).min(axis=0))
         else:
             best = self.exact
         return _smp.QUERY_OVERHEAD_MS + best
+
+    def affected_queries(self, row: int) -> np.ndarray:
+        """(Q,) bool: queries structure ``row`` can touch.  A sample only
+        ever answers queries anchored on its own table."""
+        anchor_tid = self.acc_table[self.anchor_acc]
+        return anchor_tid == self.struct_table[row]
+
+    def delta_design_costs(self, members, changed_row: int, prev_costs) -> np.ndarray:
+        """Re-price only the queries structure ``changed_row`` can touch."""
+        return _delta_design_costs(self, members, changed_row, prev_costs)
 
     def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
         anchor_tid = self.acc_table[self.anchor_acc]
@@ -893,6 +1165,33 @@ class SamplesBatch:
         )
 
 
+@dataclass
+class SamplesArena:
+    """Query-side compiled state for the stratified-samples substrate."""
+
+    sqls: list[str]
+    bits: _ColumnBits
+    acc_table: np.ndarray
+    anchor_acc: np.ndarray
+    dim_pad: np.ndarray
+    exact: np.ndarray
+    needed_bytes: np.ndarray
+    pred: np.ndarray
+    total_sel: np.ndarray
+    agg_flag: np.ndarray
+    answerable: np.ndarray
+    depends_mask: np.ndarray
+
+    @property
+    def query_count(self) -> int:
+        return len(self.sqls)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the compiled arrays."""
+        return _arena_nbytes(self)
+
+
 class SamplesKernel:
     """Compiles and batch-prices the stratified-samples substrate."""
 
@@ -902,29 +1201,18 @@ class SamplesKernel:
         self.model = model
 
     def compile(self, profiles, structures) -> SamplesBatch:
+        """One-shot compile: ``bind(compile_queries(profiles), structures)``."""
+        return self.bind(self.compile_queries(profiles), structures)
+
+    def compile_queries(self, profiles) -> SamplesArena:
         model = self.model
         profiles = list(profiles)
-        structures = list(structures)
         bits = _ColumnBits(model.schema)
         table = _compile_accesses(profiles)
         accesses = table.accesses
         acc_table = np.array(
             [bits.table_id(a.table) for a in accesses], dtype=np.int64
         ).reshape(len(accesses))
-
-        struct_table = np.array(
-            [bits.table_id(s.table) for s in structures], dtype=np.int64
-        ).reshape(len(structures))
-        sample_rows = np.zeros(len(structures), dtype=np.float64)
-        error_ok = np.zeros(len(structures), dtype=bool)
-        strata_mask = np.zeros((len(structures), bits.words), dtype=np.uint64)
-        for s, sample in enumerate(structures):
-            strata_mask[s] = bits.mask(sample.table, sample.strata_columns)
-            stats = model.statistics.get(sample.table)
-            if stats is None:
-                continue
-            sample_rows[s] = float(sample.sample_rows(stats))
-            error_ok[s] = sample.relative_error(stats) <= _smp.MAX_RELATIVE_ERROR
 
         count = len(profiles)
         exact = np.zeros(count, dtype=np.float64)
@@ -950,19 +1238,9 @@ class SamplesKernel:
                 access.table, access.predicate_columns | set(profile.group_by)
             )
 
-        anchor_tid = acc_table[table.anchor_acc]
-        valid = (
-            (struct_table[:, None] == anchor_tid[None, :])
-            & answerable[None, :]
-            & error_ok[:, None]
-            & _covered(depends_mask, strata_mask)
-        )
-
-        return SamplesBatch(
+        return SamplesArena(
             sqls=[p.sql for p in profiles],
-            words=bits.words,
-            struct_table=struct_table,
-            sample_rows=sample_rows,
+            bits=bits,
             acc_table=acc_table,
             anchor_acc=table.anchor_acc,
             dim_pad=table.dim_pad,
@@ -971,6 +1249,51 @@ class SamplesKernel:
             pred=pred,
             total_sel=total_sel,
             agg_flag=agg_flag,
+            answerable=answerable,
+            depends_mask=depends_mask,
+        )
+
+    def bind(self, arena: SamplesArena, structures) -> SamplesBatch:
+        model = self.model
+        structures = list(structures)
+        bits = arena.bits
+        acc_table = arena.acc_table
+
+        struct_table = np.array(
+            [bits.table_id(s.table) for s in structures], dtype=np.int64
+        ).reshape(len(structures))
+        sample_rows = np.zeros(len(structures), dtype=np.float64)
+        error_ok = np.zeros(len(structures), dtype=bool)
+        strata_mask = np.zeros((len(structures), bits.words), dtype=np.uint64)
+        for s, sample in enumerate(structures):
+            strata_mask[s] = bits.mask(sample.table, sample.strata_columns)
+            stats = model.statistics.get(sample.table)
+            if stats is None:
+                continue
+            sample_rows[s] = float(sample.sample_rows(stats))
+            error_ok[s] = sample.relative_error(stats) <= _smp.MAX_RELATIVE_ERROR
+
+        anchor_tid = acc_table[arena.anchor_acc]
+        valid = (
+            (struct_table[:, None] == anchor_tid[None, :])
+            & arena.answerable[None, :]
+            & error_ok[:, None]
+            & _covered(arena.depends_mask, strata_mask)
+        )
+
+        return SamplesBatch(
+            sqls=list(arena.sqls),
+            words=bits.words,
+            struct_table=struct_table,
+            sample_rows=sample_rows,
+            acc_table=acc_table,
+            anchor_acc=arena.anchor_acc,
+            dim_pad=arena.dim_pad,
+            exact=arena.exact,
+            needed_bytes=arena.needed_bytes,
+            pred=arena.pred,
+            total_sel=arena.total_sel,
+            agg_flag=arena.agg_flag,
             valid=valid,
         )
 

@@ -51,8 +51,15 @@ import numpy as np
 from repro.costing.kernel import kernel_for
 from repro.costing.report import WorkloadCostReport
 from repro.obs import MetricsRegistry, get_metrics, tracer
-from repro.parallel.backends import ExecutionBackend, ThreadBackend, resolve_backend
+from repro.parallel.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.parallel.partition import chunk_count, contiguous_chunks
+from repro.parallel.shm import attached_batch, share_batch
+from repro.workload.workload import Workload
 
 #: Default bound on the per-(design, query) memo cache.  Sized to hold a
 #: full bench-scale CliffGuard run's working set (~550k distinct pairs:
@@ -68,6 +75,14 @@ DEFAULT_MAX_FINGERPRINTS = 16_384
 #: structure-of-arrays batch has fixed overhead that only pays off once a
 #: vectorized call amortizes it over enough (structure, query) pairs.
 KERNEL_MIN_BATCH = 8
+#: Bound on the per-service workload-arena cache.  Arenas are per
+#: distinct query set — one per replay window or neighborhood pool — and
+#: a handful of windows are ever live at once; each holds the compiled
+#: query-side arrays plus profiles, so the bound is deliberately small.
+DEFAULT_MAX_ARENAS = 8
+#: Bound on the module-level identity memos for workload/design
+#: fingerprints (see :class:`_IdentityMemo`).
+DEFAULT_MAX_FINGERPRINT_MEMO = 4_096
 
 
 @runtime_checkable
@@ -103,6 +118,50 @@ def _digest(*parts: str) -> str:
     return h.hexdigest()
 
 
+class _IdentityMemo:
+    """Small LRU keyed by object identity (``id``).
+
+    Same pattern as ``_PerWorkloadCache`` in
+    :mod:`repro.workload.distance`: entries keep the key object itself
+    alongside the value, so an ``id`` recycled by a new object after
+    garbage collection can never alias a stale entry.  Evictions are
+    counted in the process-wide metrics registry under ``counter_name``.
+    Only sound for objects whose fingerprint-relevant content never
+    mutates — :class:`~repro.workload.workload.Workload` and the design
+    containers qualify; plain lists do not and are never memoized.
+    """
+
+    def __init__(
+        self, counter_name: str, max_entries: int = DEFAULT_MAX_FINGERPRINT_MEMO
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.counter_name = counter_name
+        self._entries: OrderedDict[int, tuple[object, str]] = OrderedDict()
+
+    def get(self, obj) -> str | None:
+        cached = self._entries.get(id(obj))
+        if cached is not None and cached[0] is obj:
+            self._entries.move_to_end(id(obj))
+            return cached[1]
+        return None
+
+    def put(self, obj, value: str) -> None:
+        self._entries[id(obj)] = (obj, value)
+        self._entries.move_to_end(id(obj))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            get_metrics().counter(self.counter_name).inc()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_WORKLOAD_FP_MEMO = _IdentityMemo("costing.fingerprint_memo_evictions")
+_DESIGN_FP_MEMO = _IdentityMemo("costing.fingerprint_memo_evictions")
+
+
 def query_fingerprint(sql: str) -> str:
     """Stable content hash of one query's exact SQL text."""
     return _digest("q", sql)
@@ -114,13 +173,31 @@ def design_fingerprint(design) -> str:
     Designs iterate their structures in deterministic order and every
     structure renders stable DDL via ``str``, so two content-identical
     designs — even distinct objects built in different ways — produce
-    the same fingerprint.
+    the same fingerprint.  Recomputation is memoized per design *object*
+    (designs are immutable containers); the digest itself is unchanged.
     """
-    return _digest("d", *[str(structure) for structure in design])
+    cached = _DESIGN_FP_MEMO.get(design)
+    if cached is not None:
+        return cached
+    fingerprint = _digest("d", *[str(structure) for structure in design])
+    _DESIGN_FP_MEMO.put(design, fingerprint)
+    return fingerprint
 
 
 def workload_fingerprint(queries: Iterable) -> str:
-    """Stable content hash of a (sql, weight) sequence, order-sensitive."""
+    """Stable content hash of a (sql, weight) sequence, order-sensitive.
+
+    Accepts raw iterables (lists, generators) or a
+    :class:`~repro.workload.workload.Workload`; passing the ``Workload``
+    itself is preferred on hot paths — its fingerprint is memoized by
+    object identity (the container is immutable-ish), so run keys and
+    cache keys stop re-hashing the same window every call.
+    """
+    memoable = isinstance(queries, Workload)
+    if memoable:
+        cached = _WORKLOAD_FP_MEMO.get(queries)
+        if cached is not None:
+            return cached
     parts: list[str] = ["w"]
     for query in queries:
         if isinstance(query, str):
@@ -129,7 +206,10 @@ def workload_fingerprint(queries: Iterable) -> str:
         else:
             parts.append(query.sql)
             parts.append(repr(float(query.frequency)))
-    return _digest(*parts)
+    fingerprint = _digest(*parts)
+    if memoable:
+        _WORKLOAD_FP_MEMO.put(queries, fingerprint)
+    return fingerprint
 
 
 # -- instrumentation -------------------------------------------------------------
@@ -231,6 +311,47 @@ class CostServiceStats:
         ]
 
 
+@dataclass
+class ArenaStats:
+    """Counters for the workload-arena cache and delta re-costing.
+
+    Deliberately **separate** from :class:`CostServiceStats` and
+    **excluded from** :meth:`CostEvaluationService.export_state`: arenas
+    are derived state, rebuilt on demand after a resume, so a resumed
+    run's arena counters legitimately differ from the uninterrupted
+    run's — folding them into the exported stats would break the
+    kill-resume byte-identity of every report that renders counters.
+    """
+
+    #: Arena compilations (cache misses).
+    builds: int = 0
+    #: Arena cache hits (a bind reused compiled query-side arrays).
+    hits: int = 0
+    #: Arenas dropped by the LRU bound.
+    evictions: int = 0
+    #: Arenas dropped by ``invalidate_design``/``clear``.
+    invalidations: int = 0
+    #: Design evaluations priced via single-structure delta re-costing.
+    delta_recosts: int = 0
+    #: Query re-evaluations skipped by delta re-costing (unaffected
+    #: queries whose previous costs were reused bit-identically).
+    delta_queries_saved: int = 0
+    #: Kernel batches fanned out to workers via shared memory.
+    shm_fanouts: int = 0
+
+    def rows(self) -> list[list[object]]:
+        """(label, value) rows for the reporting tables."""
+        return [
+            ["arena builds", self.builds],
+            ["arena hits", self.hits],
+            ["arena evictions (lru)", self.evictions],
+            ["arena invalidations", self.invalidations],
+            ["delta re-costs", self.delta_recosts],
+            ["delta queries saved", self.delta_queries_saved],
+            ["shm fan-outs", self.shm_fanouts],
+        ]
+
+
 # -- the service -----------------------------------------------------------------
 
 
@@ -276,6 +397,14 @@ class CostEvaluationService:
         #: Dispatch is exact-type; stubs and subclasses stay scalar.
         self.kernel = kernel_for(cost_model)
         self.stats = CostServiceStats()
+        #: Arena/delta/shm counters — derived-state instrumentation,
+        #: intentionally outside ``stats`` (see :class:`ArenaStats`).
+        self.arena_stats = ArenaStats()
+        self.max_arenas = DEFAULT_MAX_ARENAS
+        #: arena key (digest of the distinct SQL tuple) -> compiled
+        #: workload arena, LRU-ordered (oldest first).  Derived state:
+        #: never exported, rebuilt on demand after clear/resume.
+        self._arenas: OrderedDict[str, object] = OrderedDict()
         #: (design_fp, sql) -> cost, LRU-ordered (oldest first).
         self._query_cache: OrderedDict[tuple[str, str], float] = OrderedDict()
         #: (design_fp, workload_fp) -> WorkloadCostReport, LRU-ordered.
@@ -311,11 +440,17 @@ class CostEvaluationService:
 
     def clear(self) -> None:
         """Drop every cached entry (fingerprints survive: content hashes
-        stay valid as long as the design objects themselves do)."""
+        stay valid as long as the design objects themselves do).
+
+        Compiled workload arenas are dropped too: ``clear`` is the
+        "cost model changed under me" escape hatch, and arenas bake the
+        model's statistics into their query-side arrays.
+        """
         dropped = len(self._query_cache) + len(self._workload_cache)
         self.stats.evictions += dropped
         self._query_cache.clear()
         self._workload_cache.clear()
+        self._drop_arenas("clear")
         t = tracer()
         if t.enabled and dropped:
             t.emit("cache_evict", reason="clear", entries=dropped)
@@ -325,8 +460,12 @@ class CostEvaluationService:
 
         The service never watches the cost model for mutation; callers
         that update statistics or cost constants for a design must
-        invalidate it (or :meth:`clear`) themselves.
+        invalidate it (or :meth:`clear`) themselves.  Because the usual
+        reason to invalidate is exactly such a model mutation, the
+        compiled workload arenas — whose query-side arrays bake in the
+        model's statistics — are conservatively dropped as well.
         """
+        self._drop_arenas("invalidate_design")
         fingerprint = self.design_fingerprint(design)
         stale_queries = [k for k in self._query_cache if k[0] == fingerprint]
         stale_workloads = [k for k in self._workload_cache if k[0] == fingerprint]
@@ -361,7 +500,12 @@ class CostEvaluationService:
         deltas bit-identical to the uninterrupted run's (see
         docs/state.md).  The design-fingerprint memo is not exported:
         fingerprints are content hashes, recomputed deterministically on
-        first use.
+        first use.  Compiled workload arenas and :class:`ArenaStats`
+        are not exported either — arenas are derived state (pure
+        functions of the queries and the model, rebuilt on demand after
+        a resume), and folding their counters into the snapshot would
+        make a resumed run's exported stats diverge from the
+        uninterrupted run's even though every cost is identical.
         """
         return {
             "query": list(self._query_cache.items()),
@@ -370,10 +514,87 @@ class CostEvaluationService:
         }
 
     def import_state(self, state: dict) -> None:
-        """Restore a cache export from :meth:`export_state` in place."""
+        """Restore a cache export from :meth:`export_state` in place.
+
+        Arenas are *not* part of the import (they are derived state,
+        absent from :meth:`export_state`); whatever arenas this service
+        holds stay valid — they depend only on queries and the model.
+        """
         self._query_cache = OrderedDict(state["query"])
         self._workload_cache = OrderedDict(state["workload"])
         self.stats = state["stats"].snapshot()
+
+    # -- workload arenas ---------------------------------------------------------------
+
+    @property
+    def cached_arenas(self) -> int:
+        return len(self._arenas)
+
+    def _drop_arenas(self, reason: str) -> None:
+        dropped = len(self._arenas)
+        if not dropped:
+            return
+        self._arenas.clear()
+        self.arena_stats.invalidations += dropped
+        t = tracer()
+        if t.enabled:
+            t.emit("arena_evict", reason=reason, arenas=dropped)
+
+    def _arena_for(self, unique_sqls: tuple[str, ...], profiles=None):
+        """The compiled workload arena for a distinct-SQL tuple.
+
+        Builds (and LRU-caches) on miss: queries are profiled and the
+        kernel's ``compile_queries`` runs once; every later design bind
+        against the same query set reuses the arrays.  ``profiles``
+        short-circuits re-profiling when the caller already holds them
+        (``candidate_costs``).
+        """
+        key = _digest("a", *unique_sqls)
+        arena = self._arenas.get(key)
+        t = tracer()
+        if arena is not None:
+            self._arenas.move_to_end(key)
+            self.arena_stats.hits += 1
+            if t.enabled:
+                t.emit("arena_hit", key=key, queries=len(unique_sqls))
+            return arena
+        if profiles is None:
+            profiles = [self.cost_model.profile(sql) for sql in unique_sqls]
+        arena = self.kernel.compile_queries(profiles)
+        self._arenas[key] = arena
+        self.arena_stats.builds += 1
+        if t.enabled:
+            t.emit(
+                "arena_build",
+                key=key,
+                substrate=self.kernel.name,
+                queries=len(unique_sqls),
+                bytes=arena.nbytes,
+            )
+        while len(self._arenas) > self.max_arenas:
+            evicted_key, _ = self._arenas.popitem(last=False)
+            self.arena_stats.evictions += 1
+            if t.enabled:
+                t.emit("arena_evict", reason="lru", key=evicted_key, arenas=1)
+        return arena
+
+    def prepare_workload(self, queries) -> bool:
+        """Pre-warm the arena for a workload's distinct queries.
+
+        Call sites that know a workload will be costed repeatedly
+        (CliffGuard iterations, replay windows) can pay the one-time
+        compile up front; subsequent binds are cache hits.  Returns
+        False (and does nothing) when no kernel is available or the
+        workload is below the kernel batch threshold.
+        """
+        if self.kernel is None:
+            return False
+        sqls = [q if isinstance(q, str) else q.sql for q in queries]
+        unique = tuple(dict.fromkeys(sqls))
+        if len(unique) < KERNEL_MIN_BATCH:
+            return False
+        self._arena_for(unique)
+        return True
 
     def _remember_query(self, key: tuple[str, str], cost: float) -> None:
         self._query_cache[key] = cost
@@ -428,7 +649,9 @@ class CostEvaluationService:
         ``WorkloadQuery``-like objects (``sql`` + ``frequency``) or raw
         SQL strings (weight 1).
         """
-        materialized = list(queries)
+        # Workload containers pass through intact so the fingerprint memo
+        # can key on their identity; anything else is materialized first.
+        materialized = queries if isinstance(queries, Workload) else list(queries)
         design_fp = self.design_fingerprint(design)
         key = (design_fp, workload_fingerprint(materialized))
         self.stats.workload_requests += 1
@@ -437,15 +660,29 @@ class CostEvaluationService:
             self.stats.workload_hits += 1
             self._workload_cache.move_to_end(key)
             return cached
-        costs: list[float] = []
-        weights: list[float] = []
+        # Misses are collapsed to distinct SQL and routed through the
+        # batched fill (kernel + arena + backend when available) instead
+        # of one scalar ``query_cost`` per occurrence.  Counters match
+        # the per-occurrence loop exactly: every occurrence is a
+        # request, repeated occurrences of one SQL hit the entry its
+        # first occurrence filled, and each distinct miss is one raw
+        # model call.
+        pairs: list[tuple[str, float]] = []
         for query in materialized:
             if isinstance(query, str):
-                sql, weight = query, 1.0
+                pairs.append((query, 1.0))
             else:
-                sql, weight = query.sql, float(query.frequency)
-            costs.append(self.query_cost(sql, design))
-            weights.append(weight)
+                pairs.append((query.sql, float(query.frequency)))
+        distinct = list(dict.fromkeys(sql for sql, _ in pairs))
+        misses = [
+            sql for sql in distinct if (design_fp, sql) not in self._query_cache
+        ]
+        self.stats.query_requests += len(pairs)
+        self.stats.query_hits += len(pairs) - len(misses)
+        with _Timer(self.stats):
+            self._fill_misses(design, design_fp, misses, context=tuple(distinct))
+        costs = [self._cached_cost(design_fp, sql, design) for sql, _ in pairs]
+        weights = [weight for _, weight in pairs]
         report = WorkloadCostReport(per_query_ms=costs, weights=weights)
         self._remember_workload(key, report)
         return report
@@ -499,7 +736,7 @@ class CostEvaluationService:
                 self.stats.dedup_saved += occurrences - len(unique)
                 self.stats.query_requests += len(unique)
                 self.stats.query_hits += len(unique) - len(misses)
-                self._fill_misses(design, design_fp, misses)
+                self._fill_misses(design, design_fp, misses, context=tuple(unique))
                 reports: list[WorkloadCostReport] = []
                 for sqls, weights in per_workload:
                     costs = [
@@ -560,19 +797,40 @@ class CostEvaluationService:
         registry.gauge("costing.kernel.pairs_priced").set(
             self.stats.kernel_pairs_priced
         )
+        registry.gauge("arena.builds").set(self.arena_stats.builds)
+        registry.gauge("arena.hits").set(self.arena_stats.hits)
+        registry.gauge("arena.evictions").set(self.arena_stats.evictions)
+        registry.gauge("arena.invalidations").set(self.arena_stats.invalidations)
+        registry.gauge("arena.delta_recosts").set(self.arena_stats.delta_recosts)
+        registry.gauge("arena.delta_queries_saved").set(
+            self.arena_stats.delta_queries_saved
+        )
+        registry.gauge("arena.cached").set(self.cached_arenas)
+        registry.gauge("arena.resident_bytes").set(
+            sum(getattr(a, "nbytes", 0) for a in self._arenas.values())
+        )
+        registry.gauge("shm.fanouts").set(self.arena_stats.shm_fanouts)
 
-    def _fill_misses(self, design, design_fp: str, misses: list[str]) -> None:
+    def _fill_misses(
+        self, design, design_fp: str, misses: list[str], context=None
+    ) -> None:
         """Cost the uncached SQL texts for one design (optionally fanned
         out over the execution backend).
 
-        Large miss batches go through the vectorized kernel: the profiles
-        and the design's structures are compiled into structure-of-arrays
-        form once and every miss is priced in a handful of numpy ops.
-        When a backend is attached, workers receive compiled array slices
-        (``batch.take``), not per-call Python objects.  Kernel results are
-        bit-identical to the scalar path at any chunking (every kernel op
-        is element-wise or a per-query reduction), so cache contents and
-        counters never depend on the backend.
+        Large miss batches go through the vectorized kernel: the workload
+        arena (compiled query-side arrays, cached across calls) is bound
+        to the design's structures and every miss is priced in a handful
+        of numpy ops.  ``context`` is the full distinct-SQL tuple the
+        misses were drawn from, when the caller knows it — it keys the
+        arena, so successive designs over the same workload reuse one
+        compile even though their miss subsets differ.  When a process
+        backend is attached, the bound batch ships to workers through a
+        shared-memory segment (see :mod:`repro.parallel.shm`); thread
+        and serial backends keep in-process ``batch.take`` slices.
+        Kernel results are bit-identical to the scalar path at any
+        chunking (every kernel op is element-wise or a per-query
+        reduction), so cache contents and counters never depend on the
+        backend.
 
         Scalar workers are pure: they return per-chunk cost lists and
         never touch the cache or the counters.  The parent merges chunk
@@ -584,7 +842,7 @@ class CostEvaluationService:
             return
         t = tracer()
         if self.kernel is not None and len(misses) >= KERNEL_MIN_BATCH:
-            self._fill_misses_kernel(design, design_fp, misses)
+            self._fill_misses_kernel(design, design_fp, misses, context)
             return
         if self.backend is None or len(misses) < 2:
             if t.enabled:
@@ -616,8 +874,10 @@ class CostEvaluationService:
                 self.stats.raw_model_calls += 1
                 self._remember_query((design_fp, sql), cost)
 
-    def _fill_misses_kernel(self, design, design_fp: str, misses: list[str]) -> None:
-        """Vectorized miss fill: one compile, one (or chunked) batch eval."""
+    def _fill_misses_kernel(
+        self, design, design_fp: str, misses: list[str], context=None
+    ) -> None:
+        """Vectorized miss fill: one arena bind, one (or chunked) eval."""
         t = tracer()
         inline = self.backend is None or len(misses) < 2
         if t.enabled:
@@ -630,26 +890,26 @@ class CostEvaluationService:
                 backend="inline" if inline else self.backend.name,
                 chunks=1 if inline else chunk_count(len(misses), self.backend.jobs),
             )
-        profiles = [self.cost_model.profile(sql) for sql in misses]
-        batch = self.kernel.compile(profiles, list(design))
+        # The arena is keyed by the *workload's* distinct-SQL tuple when
+        # the caller supplied it, so its key is stable across designs and
+        # iterations; the misses (a design-dependent subset) are then a
+        # ``take`` of the bound batch — bit-identical to compiling them
+        # alone, since every kernel op is per-query.
+        unique = tuple(context) if context else tuple(misses)
+        arena = self._arena_for(unique)
+        batch = self.kernel.bind(arena, list(design))
         if t.enabled:
             t.emit(
-                "kernel_compile",
+                "kernel_bind",
                 substrate=self.kernel.name,
                 queries=batch.query_count,
                 structures=batch.structure_count,
                 words=batch.words,
             )
-        if self.backend is None or len(misses) < 2:
-            costs = [float(c) for c in batch.design_costs()]
-        else:
-            indices = list(range(len(misses)))
-            chunks = contiguous_chunks(
-                indices, chunk_count(len(misses), self.backend.jobs)
-            )
-            tasks = [(batch.take(chunk),) for chunk in chunks]
-            per_chunk = self.backend.map(_evaluate_kernel_chunk, tasks)
-            costs = [cost for chunk_costs in per_chunk for cost in chunk_costs]
+        if len(misses) != len(unique):
+            q_index = {sql: i for i, sql in enumerate(unique)}
+            batch = batch.take([q_index[sql] for sql in misses])
+        costs = self._batch_costs(batch)
         for sql, cost in zip(misses, costs):
             self.stats.raw_model_calls += 1
             self._remember_query((design_fp, sql), cost)
@@ -664,6 +924,41 @@ class CostEvaluationService:
                 structures=batch.structure_count,
             )
 
+    def _batch_costs(self, batch) -> list[float]:
+        """Full-design costs of a bound batch, fanned out if configured.
+
+        Process backends attach the batch zero-copy from a shared-memory
+        segment (workers receive only the tiny handle plus chunk
+        indices); the segment lives exactly as long as the ``map`` call
+        and is unlinked on every exit path, worker crashes and timeouts
+        included, because the backend surfaces those as ordinary returns.
+        """
+        n = batch.query_count
+        if self.backend is None or n < 2:
+            return [float(c) for c in batch.design_costs()]
+        chunks = contiguous_chunks(
+            list(range(n)), chunk_count(n, self.backend.jobs)
+        )
+        if isinstance(self.backend, ProcessBackend):
+            self.arena_stats.shm_fanouts += 1
+            with share_batch(batch) as handle:
+                t = tracer()
+                if t.enabled:
+                    t.emit(
+                        "shm_share",
+                        segment=handle.segment,
+                        bytes=handle.nbytes,
+                        chunks=len(chunks),
+                    )
+                per_chunk = self.backend.map(
+                    _evaluate_kernel_chunk_shm,
+                    [(handle, chunk) for chunk in chunks],
+                )
+        else:
+            tasks = [(batch.take(chunk),) for chunk in chunks]
+            per_chunk = self.backend.map(_evaluate_kernel_chunk, tasks)
+        return [cost for chunk_costs in per_chunk for cost in chunk_costs]
+
     # -- batched design sweeps ---------------------------------------------------------
 
     def workload_costs_batch(self, designs: Sequence, workload) -> list[WorkloadCostReport]:
@@ -671,13 +966,17 @@ class CostEvaluationService:
 
         This is the neighborhood-exploration shape of the paper's
         Algorithm 4 turned sideways: the query axis is fixed, the design
-        axis fans out.  The structures of *all* designs are compiled into
-        one structure-of-arrays batch; each design's costs are then a
-        masked min-reduction over its member rows.  Caches and counters
-        behave exactly as if :meth:`workload_cost` had been called once
-        per design in order — cached designs are served without touching
-        the kernel, and duplicate designs hit the entries their first
-        occurrence filled.
+        axis fans out.  The workload's arena is bound once to the union
+        of *all* designs' structures; each design's costs are then a
+        masked min-reduction over its member rows.  Consecutive designs
+        differing by exactly one structure — the shape every
+        ``core/move.py`` neighborhood step produces — go through delta
+        re-costing: only the queries that structure's table can touch
+        are re-reduced, the rest keep their previous floats verbatim.
+        Caches and counters behave exactly as if :meth:`workload_cost`
+        had been called once per design in order — cached designs are
+        served without touching the kernel, and duplicate designs hit
+        the entries their first occurrence filled.
         """
         with _Timer(self.stats):
             materialized = list(workload)
@@ -697,6 +996,8 @@ class CostEvaluationService:
             row_of: dict = {}
             q_index: dict[str, int] = {}
             reports: list[WorkloadCostReport] = []
+            prev_members: set[int] | None = None
+            prev_costs = None
             t = tracer()
             for design in designs:
                 design_fp = self.design_fingerprint(design)
@@ -718,25 +1019,55 @@ class CostEvaluationService:
                     self._fill_misses(design, design_fp, misses)
                 elif misses:
                     if batch is None:
-                        # One compile covers every design: the union of all
-                        # structures, with per-design membership rows.
+                        # One arena bind covers every design: the union of
+                        # all structures, with per-design membership rows.
                         structures = list(
                             dict.fromkeys(s for d in designs for s in d)
                         )
                         row_of = {s: i for i, s in enumerate(structures)}
-                        profiles = [self.cost_model.profile(sql) for sql in unique]
-                        batch = self.kernel.compile(profiles, structures)
+                        arena = self._arena_for(tuple(unique))
+                        batch = self.kernel.bind(arena, structures)
                         q_index = {sql: i for i, sql in enumerate(unique)}
                         if t.enabled:
                             t.emit(
-                                "kernel_compile",
+                                "kernel_bind",
                                 substrate=self.kernel.name,
                                 queries=batch.query_count,
                                 structures=batch.structure_count,
                                 words=batch.words,
                             )
                     members = [row_of[s] for s in design]
-                    costs = batch.design_costs(members)
+                    member_set = set(members)
+                    changed = (
+                        member_set ^ prev_members
+                        if prev_members is not None
+                        else None
+                    )
+                    if changed is not None and len(changed) == 1:
+                        # Single-structure step: re-reduce only the
+                        # queries the changed structure can touch; the
+                        # rest keep their previous floats verbatim.
+                        row = next(iter(changed))
+                        costs = batch.delta_design_costs(
+                            members, row, prev_costs
+                        )
+                        affected = int(batch.affected_queries(row).sum())
+                        self.arena_stats.delta_recosts += 1
+                        self.arena_stats.delta_queries_saved += (
+                            batch.query_count - affected
+                        )
+                        if t.enabled:
+                            t.emit(
+                                "delta_recost",
+                                design=design_fp,
+                                changed_row=row,
+                                affected=affected,
+                                saved=batch.query_count - affected,
+                            )
+                    else:
+                        costs = batch.design_costs(members)
+                    prev_members = member_set
+                    prev_costs = costs
                     for sql in misses:
                         self.stats.raw_model_calls += 1
                         self._remember_query(
@@ -784,11 +1115,16 @@ class CostEvaluationService:
             candidates = list(candidates)
             sqls = [p.sql for p in profiles]
             empty_fp = self.design_fingerprint(make_design([]))
-            batch = self.kernel.compile(profiles, candidates)
+            # The arena is keyed by the query texts, so designer re-runs
+            # (greedy sweeps, replay refreshes) over the same workload
+            # reuse the compiled query-side arrays; only the candidate
+            # masks are rebuilt.  The caller's profiles seed the build.
+            arena = self._arena_for(tuple(sqls), profiles=profiles)
+            batch = self.kernel.bind(arena, candidates)
             t = tracer()
             if t.enabled:
                 t.emit(
-                    "kernel_compile",
+                    "kernel_bind",
                     substrate=self.kernel.name,
                     queries=batch.query_count,
                     structures=batch.structure_count,
@@ -847,6 +1183,20 @@ class CostEvaluationService:
                     pairs=len(base_misses) + len(cell_misses),
                 )
             return base, matrix
+
+
+def _evaluate_kernel_chunk_shm(task) -> list[float]:
+    """Worker body for one chunk of a shared-memory-published batch.
+
+    The task carries only the segment handle and the chunk's query
+    indices; the worker attaches the compiled arrays zero-copy, reduces
+    its slice, and detaches.  Runs identically in the parent (the
+    backend's serial degraded mode) — attaching from the creating
+    process is just another view of the same pages.
+    """
+    handle, chunk = task
+    with attached_batch(handle) as batch:
+        return [float(cost) for cost in batch.take(chunk).design_costs()]
 
 
 def _evaluate_kernel_chunk(task) -> list[float]:

@@ -28,16 +28,26 @@ from repro.parallel.backends import (
     resolve_backend,
 )
 from repro.parallel.partition import chunk_count, contiguous_chunks, derive_seed
+from repro.parallel.shm import (
+    ShmBatchHandle,
+    attach_batch,
+    leaked_segments,
+    share_batch,
+)
 
 __all__ = [
     "BackendStats",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "ShmBatchHandle",
     "ThreadBackend",
+    "attach_batch",
     "backend_from_env",
     "chunk_count",
     "contiguous_chunks",
     "derive_seed",
+    "leaked_segments",
     "resolve_backend",
+    "share_batch",
 ]

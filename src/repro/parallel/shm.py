@@ -1,0 +1,257 @@
+"""Zero-copy shipping of compiled costing batches over shared memory.
+
+The process backend's kernel fan-out used to pickle one ``batch.take``
+slice per worker chunk — every float of every compiled array crossed the
+pipe once per chunk.  This module instead places the batch's arrays in a
+single :mod:`multiprocessing.shared_memory` segment; workers receive a
+tiny picklable :class:`ShmBatchHandle` (segment name + array layout) and
+reattach the arrays as views into the same physical pages — zero copies
+past the initial pack, however many chunks or workers there are.
+
+Lifecycle contract (the part that must never leak):
+
+* the **parent** creates the segment inside :func:`share_batch`, a
+  context manager whose ``finally`` closes *and unlinks* it.  The
+  execution backends always return control to the parent — worker
+  crashes and timeouts degrade to a serial retry in the parent (see
+  :mod:`repro.parallel.backends`) — so the segment is unlinked on every
+  exit path short of the parent dying mid-block;
+* a process-wide exit hook (:func:`_unlink_registered`) unlinks any
+  segment still registered when the interpreter exits, covering
+  ``sys.exit`` and unhandled exceptions inside the block;
+* if the parent is SIGKILLed outright, the CPython resource tracker — a
+  separate process that survives the kill — removes the segments the
+  parent registered at creation;
+* **workers** only ever attach and close.  Attaching re-registers the
+  segment with the resource tracker, but pool workers (forked or
+  spawned) share the *parent's* tracker process, whose cache has set
+  semantics — the duplicates collapse and the parent's ``unlink``
+  performs the single unregister (see :func:`_untrack`).
+
+:func:`leaked_segments` lists segments this module created that are
+still visible in ``/dev/shm`` — the fault-injection tests assert it is
+empty after crash and timeout scenarios.
+
+Bit-identity: the arrays a worker sees are byte-for-byte the arrays the
+parent packed (one ``memcpy`` in, attached views out), so shared-memory
+fan-out cannot perturb a single float.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs import get_metrics
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ShmBatchHandle",
+    "attach_batch",
+    "leaked_segments",
+    "share_batch",
+]
+
+#: Every segment this module creates carries this name prefix, so leak
+#: checks (and operators staring at /dev/shm) can attribute ownership.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Byte alignment of each packed array within the segment.
+_ALIGN = 64
+
+#: Segments created by this process and not yet unlinked, keyed by name
+#: with the creator's pid — a forked child inherits the dict but must
+#: never unlink its parent's segments (see :func:`_unlink_registered`).
+_LIVE: dict[str, tuple[int, shared_memory.SharedMemory]] = {}
+
+
+@dataclass(frozen=True)
+class ShmBatchHandle:
+    """Picklable recipe for reattaching a compiled batch.
+
+    ``arrays`` maps dataclass field -> (dtype string, shape, byte
+    offset) within the segment; ``scalars`` carries the non-array,
+    non-``sqls`` fields verbatim.  SQL texts are *not* shipped: workers
+    only run numeric reductions, so :func:`attach_batch` substitutes
+    empty placeholders of the right length.
+    """
+
+    segment: str
+    batch_class: str
+    arrays: tuple[tuple[str, str, tuple[int, ...], int], ...]
+    scalars: tuple[tuple[str, object], ...]
+    query_count: int
+    nbytes: int
+
+
+def _batch_classes() -> dict[str, type]:
+    # Imported lazily: kernel.py is heavy and shm.py must stay cheap to
+    # import inside worker processes that never touch a batch.
+    from repro.costing import kernel
+
+    return {
+        cls.__name__: cls
+        for cls in (kernel.ColumnarBatch, kernel.RowstoreBatch, kernel.SamplesBatch)
+    }
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack_batch(batch) -> tuple[shared_memory.SharedMemory, ShmBatchHandle]:
+    """Copy ``batch``'s arrays into a fresh shared-memory segment.
+
+    Returns the live segment (caller owns close+unlink — prefer
+    :func:`share_batch`) and the handle describing its layout.
+    """
+    array_fields: list[tuple[str, np.ndarray]] = []
+    scalars: list[tuple[str, object]] = []
+    for f in fields(batch):
+        value = getattr(batch, f.name)
+        if isinstance(value, np.ndarray):
+            array_fields.append((f.name, np.ascontiguousarray(value)))
+        elif f.name != "sqls":
+            scalars.append((f.name, value))
+
+    layout: list[tuple[str, str, tuple[int, ...], int]] = []
+    offset = 0
+    for name, array in array_fields:
+        offset = _aligned(offset)
+        layout.append((name, array.dtype.str, tuple(array.shape), offset))
+        offset += array.nbytes
+
+    name = SEGMENT_PREFIX + secrets.token_hex(8)
+    segment = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
+    _LIVE[segment.name] = (os.getpid(), segment)
+    for (field_name, _, _, off), (_, array) in zip(layout, array_fields):
+        dest = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=off
+        )
+        dest[...] = array
+    handle = ShmBatchHandle(
+        segment=segment.name,
+        batch_class=type(batch).__name__,
+        arrays=tuple(layout),
+        scalars=tuple(scalars),
+        query_count=batch.query_count,
+        nbytes=offset,
+    )
+    metrics = get_metrics()
+    metrics.counter("shm.segments_created").inc()
+    metrics.counter("shm.bytes_shipped").inc(offset)
+    return segment, handle
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Reconcile the attach-side resource-tracker registration: a no-op.
+
+    CPython registers *every* ``SharedMemory`` — attaches included —
+    with the resource tracker.  That looks like it needs undoing on the
+    attach side, but every attacher in this codebase shares the
+    *creator's* tracker process: the creator itself trivially, forked
+    pool workers through the inherited tracker pipe, and spawn-started
+    pool workers through the tracker fd multiprocessing ships in its
+    preparation data.  The shared tracker's cache has set semantics, so
+    the duplicate registrations collapse and the creator's ``unlink``
+    performs the single unregister.  Calling ``unregister`` here instead
+    would *remove the creator's registration* whenever the attaching
+    worker was forked before the segment existed (so the segment is
+    absent from its inherited ``_LIVE``), making the creator's later
+    ``unlink`` crash the tracker with a ``KeyError``.
+    """
+
+
+def attach_batch(handle: ShmBatchHandle):
+    """Reattach a packed batch as zero-copy views into the segment.
+
+    Returns ``(batch, segment)``; the caller must drop every array
+    reference before ``segment.close()`` (views pin the mapping).
+    """
+    segment = shared_memory.SharedMemory(name=handle.segment)
+    _untrack(segment)
+    kwargs: dict[str, object] = {"sqls": [""] * handle.query_count}
+    kwargs.update(handle.scalars)
+    for name, dtype, shape, offset in handle.arrays:
+        kwargs[name] = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+        )
+    batch = _batch_classes()[handle.batch_class](**kwargs)
+    get_metrics().counter("shm.attaches").inc()
+    return batch, segment
+
+
+def _release(segment: shared_memory.SharedMemory, unlink: bool) -> None:
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover - close is best-effort
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        except Exception:  # pragma: no cover - unlink is best-effort
+            get_metrics().counter("shm.unlink_failures").inc()
+        _LIVE.pop(segment.name, None)
+
+
+@contextmanager
+def share_batch(batch):
+    """Publish ``batch`` in shared memory for the duration of the block.
+
+    Yields the :class:`ShmBatchHandle` to ship to workers.  The segment
+    is closed and unlinked on *every* exit — normal return, worker
+    crash, timeout, or an exception raised inside the block — because
+    the execution backends always surface those as ordinary control flow
+    in the parent.
+    """
+    segment, handle = pack_batch(batch)
+    try:
+        yield handle
+    finally:
+        _release(segment, unlink=True)
+
+
+@contextmanager
+def attached_batch(handle: ShmBatchHandle):
+    """Worker-side convenience: attach, yield the batch, always close.
+
+    The caller must materialize results (plain floats/lists) inside the
+    block — views into the segment do not outlive it.
+    """
+    batch, segment = attach_batch(handle)
+    try:
+        yield batch
+    finally:
+        del batch
+        _release(segment, unlink=False)
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Names of this module's segments still present in ``/dev/shm``.
+
+    Empty on platforms without a POSIX shm filesystem — the leak-check
+    tests only assert on Linux, where the CI legs run.
+    """
+    shm_dir = "/dev/shm"
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(prefix))
+
+
+def _unlink_registered() -> None:  # pragma: no cover - exit hook
+    for pid, segment in list(_LIVE.values()):
+        if pid == os.getpid():  # never a forked child's inherited entry
+            _release(segment, unlink=True)
+
+
+atexit.register(_unlink_registered)

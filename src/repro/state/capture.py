@@ -59,6 +59,14 @@ def costing_state(adapter_or_service) -> dict | None:
     Accepts either a :class:`DesignAdapter` (the common case — its
     ``costing`` attribute is the service) or a service itself; returns
     ``None`` for stub adapters without one, so call sites never branch.
+
+    Compiled workload arenas are *derived* state: they bake only the
+    workload text and the model's statistics, both of which survive a
+    restart, so snapshots exclude them (``export_state`` ships the memo
+    caches only) and a resumed run rebuilds arenas on first use.  The
+    arena/shm counters (``ArenaStats``) are likewise excluded so a
+    kill-resume run's counter deltas stay byte-identical to an
+    uninterrupted run's.
     """
     service = getattr(adapter_or_service, "costing", adapter_or_service)
     export = getattr(service, "export_state", None)

@@ -352,8 +352,8 @@ def test_thread_backend_kernel_fill_bit_identical(substrate):
 
 
 def test_kernel_events_and_counters_emitted():
-    """Kernel dispatch emits kernel_compile/kernel_batch trace events and
-    bumps the kernel counters."""
+    """Kernel dispatch emits arena_build/kernel_bind/kernel_batch trace
+    events and bumps the kernel counters."""
     model, candidates, _ = _substrate("columnar")
     _, sqls = _environment()
     service = CostEvaluationService(model)
@@ -366,11 +366,15 @@ def test_kernel_events_and_counters_emitted():
         set_tracer(previous)
     events = [json.loads(line) for line in buffer.getvalue().splitlines()]
     kinds = [e["event"] for e in events]
-    assert "kernel_compile" in kinds
+    assert "arena_build" in kinds
+    assert "kernel_bind" in kinds
     assert "kernel_batch" in kinds
-    compile_event = next(e for e in events if e["event"] == "kernel_compile")
-    assert compile_event["substrate"] == "columnar"
-    assert compile_event["queries"] == len(sqls)
+    build_event = next(e for e in events if e["event"] == "arena_build")
+    assert build_event["substrate"] == "columnar"
+    assert build_event["queries"] == len(sqls)
+    bind_event = next(e for e in events if e["event"] == "kernel_bind")
+    assert bind_event["substrate"] == "columnar"
+    assert bind_event["queries"] == len(sqls)
     batch_event = next(e for e in events if e["event"] == "kernel_batch")
     assert batch_event["pairs"] == len(sqls)
     assert service.stats.kernel_batch_calls == 1

@@ -1,0 +1,231 @@
+"""Shared-memory batch fan-out: zero-copy round-trips and leak safety.
+
+The contract of :mod:`repro.parallel.shm` is twofold: a batch attached
+from a segment prices bit-identically to the in-process original, and no
+``/dev/shm`` segment outlives its ``share_batch`` block — not on normal
+return, not on worker crash, not on timeout, not on an exception raised
+mid-block.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.costing.kernel import kernel_for
+from repro.costing.service import CostEvaluationService
+from repro.designers.base import ColumnarAdapter, RowstoreAdapter, SamplesAdapter
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+from repro.designers.samples_nominal import SamplesNominalDesigner
+from repro.engine.optimizer import ColumnarCostModel
+from repro.parallel import ProcessBackend
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    attach_batch,
+    attached_batch,
+    leaked_segments,
+    pack_batch,
+    share_batch,
+)
+from repro.rowstore.optimizer import RowstoreCostModel
+from repro.samples.design import StratifiedSample
+from repro.samples.optimizer import SamplesCostModel
+from repro.workload.generator import TraceGenerator, build_star_schema, r1_profile
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+SUBSTRATES = ("columnar", "rowstore", "samples")
+
+
+@lru_cache(maxsize=1)
+def _environment():
+    schema, roles = build_star_schema(
+        fact_tables=2,
+        fact_rows=200_000,
+        fact_attributes=10,
+        legacy_tables=2,
+        legacy_columns=3,
+        seed=7,
+    )
+    profile = r1_profile(queries_per_day=6, topic_count=2, templates_per_topic=3)
+    trace = TraceGenerator(schema, roles, profile, seed=9).generate(days=30)
+    sqls = list(dict.fromkeys(q.sql for q in trace))[:14]
+    assert len(sqls) >= 6
+    return schema, sqls
+
+
+@lru_cache(maxsize=None)
+def _batch(name: str):
+    """A bound kernel batch (queries × structures) per substrate."""
+    schema, sqls = _environment()
+    if name == "columnar":
+        model = ColumnarCostModel(schema)
+        nominal = ColumnarNominalDesigner(ColumnarAdapter(model))
+    elif name == "rowstore":
+        model = RowstoreCostModel(schema)
+        nominal = RowstoreNominalDesigner(RowstoreAdapter(model))
+    else:
+        model = SamplesCostModel(schema)
+        nominal = SamplesNominalDesigner(SamplesAdapter(model))
+    candidates = nominal.generate_candidates(Workload.from_sql(sqls))[:8]
+    profiles = [model.profile(sql) for sql in sqls]
+    if name == "samples" and not candidates:
+        used = list(dict.fromkeys(t.table for p in profiles for t in p.tables))
+        candidates = [
+            StratifiedSample(
+                table=table,
+                strata_columns=(schema.table(table).column_names[0],),
+                fraction=0.05,
+            )
+            for table in used[:4]
+        ]
+    kernel = kernel_for(model)
+    return model, kernel.bind(kernel.compile_queries(profiles), candidates)
+
+
+# -- round-trip bit-identity -------------------------------------------------------
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_pack_attach_roundtrip_bit_identical(substrate):
+    _, batch = _batch(substrate)
+    reference = batch.design_costs()
+    sliced = batch.take([0, 3, 5]).design_costs()
+    with share_batch(batch) as handle:
+        assert handle.query_count == batch.query_count
+        with attached_batch(handle) as remote:
+            np.testing.assert_array_equal(remote.design_costs(), reference)
+            np.testing.assert_array_equal(
+                remote.take([0, 3, 5]).design_costs(), sliced
+            )
+    assert leaked_segments() == []
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_attached_views_are_zero_copy(substrate):
+    """Attached arrays are views into the segment, not copies."""
+    _, batch = _batch(substrate)
+    segment, handle = pack_batch(batch)
+    try:
+        remote, remote_segment = attach_batch(handle)
+        field, _, _, _ = handle.arrays[0]
+        array = getattr(remote, field)
+        assert array.base is not None  # buffer-backed, not owning
+        del remote, array
+        remote_segment.close()
+    finally:
+        segment.close()
+        segment.unlink()
+    assert leaked_segments() == []
+
+
+# -- process fan-out ---------------------------------------------------------------
+
+
+def test_process_backend_shm_fanout_bit_identical():
+    """Misses filled over ProcessBackend(jobs=2) through shared memory
+    equal the serial fill float-for-float, and leave no segment behind."""
+    schema, sqls = _environment()
+    model = ColumnarCostModel(schema)
+    nominal = ColumnarNominalDesigner(ColumnarAdapter(model))
+    candidates = nominal.generate_candidates(Workload.from_sql(sqls))[:6]
+    workload = Workload(
+        WorkloadQuery(sql=sql, frequency=float(i + 1)) for i, sql in enumerate(sqls)
+    )
+
+    serial = ColumnarAdapter(model, costing=CostEvaluationService(model))
+    backend = ProcessBackend(jobs=2)
+    try:
+        fanned = ColumnarAdapter(
+            model, costing=CostEvaluationService(model, backend=backend)
+        )
+        design_structures = [candidates, candidates[:3]]
+        for structures in design_structures:
+            reference = serial.workload_cost(workload, serial.make_design(structures))
+            parallel = fanned.workload_cost(workload, fanned.make_design(structures))
+            assert parallel.per_query_ms == reference.per_query_ms
+        assert fanned.costing.arena_stats.shm_fanouts >= 1
+    finally:
+        backend.shutdown()
+    assert leaked_segments() == []
+
+
+# -- fault injection: every exit path unlinks --------------------------------------
+
+
+def test_share_batch_unlinks_on_exception():
+    _, batch = _batch("columnar")
+    with pytest.raises(RuntimeError, match="boom"):
+        with share_batch(batch) as handle:
+            assert handle.segment.startswith(SEGMENT_PREFIX)
+            raise RuntimeError("boom")
+    assert leaked_segments() == []
+
+
+def _crash_worker(task):
+    """Dies in the pool; succeeds on the parent's serial retry."""
+    handle, parent_pid = task
+    if os.getpid() != parent_pid:  # pragma: no cover - runs in the child
+        os._exit(13)
+    with attached_batch(handle) as batch:
+        return batch.query_count
+
+
+def _sleep_worker(task):
+    """Exceeds the task timeout in the pool; fast on the serial retry."""
+    handle, parent_pid = task
+    if os.getpid() != parent_pid:  # pragma: no cover - runs in the child
+        time.sleep(5)
+    with attached_batch(handle) as batch:
+        return batch.query_count
+
+
+def test_share_batch_survives_worker_crash_without_leak():
+    """A worker hard-exiting mid-map breaks the pool; the backend retries
+    serially in the parent — where the segment must still be attachable —
+    and ``share_batch`` unlinks on the way out."""
+    _, batch = _batch("columnar")
+    backend = ProcessBackend(jobs=2)
+    try:
+        with share_batch(batch) as handle:
+            tasks = [(handle, os.getpid()), (handle, os.getpid())]
+            assert backend.map(_crash_worker, tasks) == [batch.query_count] * 2
+        assert backend.stats.retried >= 1
+    finally:
+        backend.shutdown()
+    assert leaked_segments() == []
+
+
+def test_share_batch_survives_timeout_without_leak():
+    _, batch = _batch("columnar")
+    backend = ProcessBackend(jobs=2, task_timeout=0.2)
+    try:
+        with share_batch(batch) as handle:
+            tasks = [(handle, os.getpid())]
+            assert backend.map(_sleep_worker, tasks) == [batch.query_count]
+        assert backend.stats.timeouts >= 1
+    finally:
+        backend.shutdown()
+    assert leaked_segments() == []
+
+
+def test_attach_in_same_process_does_not_break_creator_unlink(capfd):
+    """Attaching in the creating process must not double-unregister: the
+    resource tracker would log KeyError noise and the segment would risk
+    early unlinking."""
+    _, batch = _batch("columnar")
+    with share_batch(batch) as handle:
+        with attached_batch(handle):
+            pass
+        # Segment must still exist for other attachers after one detach.
+        with attached_batch(handle) as again:
+            assert again.query_count == batch.query_count
+    assert leaked_segments() == []
+    captured = capfd.readouterr()
+    assert "KeyError" not in captured.err
+    assert "resource_tracker" not in captured.err
