@@ -17,6 +17,12 @@ Quick start — the supported entry point is the :mod:`repro.api` facade::
         comparison = s.replay()    # Figure 7: the designer comparison
         sweep = s.sweep()          # Figures 8-9: the robustness knob
 
+Online tuning (design-as-a-service) runs through the same facade: pair
+the batch ``RunConfig`` with a streaming ``ServeConfig`` and the session
+becomes a crash-restartable daemon (docs/serving.md)::
+
+    outcome = repro.serve_session(workload="R1").serve(max_queries=500)
+
 The building blocks remain importable for hand-wired setups::
 
     from repro import (
@@ -99,20 +105,40 @@ from repro.workload import (
     split_windows,
 )
 
+from repro.serve import (
+    QuerySource,
+    QueueSource,
+    ServeConfig,
+    SocketSource,
+    TraceSource,
+)
+
 # The facade imports the experiment harness, which imports the designer and
 # engine layers above — so it must come last.
-from repro.api import DesignOutcome, RobustDesignSession, RunConfig
+from repro.api import (
+    DesignOutcome,
+    RobustDesignSession,
+    RunConfig,
+    ServeOutcome,
+    serve_session,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CliffGuard",
     "DesignOutcome",
     "ExecutionBackend",
     "ProcessBackend",
+    "QuerySource",
+    "QueueSource",
     "RobustDesignSession",
     "RunConfig",
     "SerialBackend",
+    "ServeConfig",
+    "ServeOutcome",
+    "SocketSource",
+    "TraceSource",
     "ThreadBackend",
     "Column",
     "ColumnType",
@@ -162,6 +188,7 @@ __all__ = [
     "replay",
     "s1_profile",
     "s2_profile",
+    "serve_session",
     "set_tracer",
     "split_windows",
     "trace_to",

@@ -18,6 +18,19 @@ engine stack, and execution backend (see :mod:`repro.parallel`).  The
 ``backend``/``jobs`` pair is the single parallelism knob: ``design()``
 fans the Γ-neighborhood costing out across workers, while ``sweep()`` and
 ``replay()`` fan out whole per-Γ / per-designer replays.
+
+The configuration is split in two: ``RunConfig`` is the **batch core**
+(workload, engine, scale, search effort, backend, observability), and
+:class:`repro.serve.ServeConfig` is the **streaming half** (stream
+source, window length, re-design policy, swap/checkpoint cadence).  A
+serving session is the pair::
+
+    session = repro.serve_session(RunConfig(workload="R1"),
+                                  ServeConfig(policy="drift"))
+    outcome = session.serve()         # the online tuning daemon
+
+Everything — CLI, tests, examples — drives the daemon through this same
+facade; there is no second configuration path (docs/serving.md).
 """
 
 from __future__ import annotations
@@ -39,8 +52,15 @@ from repro.harness.experiments import (
     run_schedule_comparison,
 )
 from repro.harness.replay import ReplayResult
-from repro.harness.scheduler import ScheduleOutcome
-from repro.parallel.backends import ExecutionBackend, resolve_backend
+from repro.harness.scheduler import (
+    DriftTriggeredPolicy,
+    PeriodicPolicy,
+    ScheduleOutcome,
+)
+from repro.parallel.backends import ExecutionBackend, SerialBackend, resolve_backend
+from repro.serve.config import ServeConfig
+from repro.serve.daemon import ServeDaemon, ServeOutcome
+from repro.serve.sources import QuerySource, TraceSource, resolve_source
 from repro.state import RunCheckpointer
 from repro.workload.workload import Workload
 
@@ -51,11 +71,16 @@ BACKENDS = ("auto", "serial", "thread", "process")
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Every knob of a run, validated once, immutable thereafter.
+    """Every *batch* knob of a run, validated once, immutable thereafter.
 
     ``backend="auto"`` defers to the ``REPRO_BACKEND``/``REPRO_JOBS``
     environment (falling back to serial) — that is how the CI matrix runs
     the whole suite on the process backend without touching call sites.
+
+    Streaming knobs (stream source, sliding-window length, re-design
+    policy, swap cadence) live in :class:`repro.serve.ServeConfig`; a
+    serving session is the ``(RunConfig, ServeConfig)`` pair — see
+    :meth:`RobustDesignSession.serve` and docs/serving.md.
     """
 
     #: Trace profile: drifting retail (R1), static (S1), drifting (S2).
@@ -221,12 +246,18 @@ class RobustDesignSession:
     context manager (or call :meth:`close`) to release pooled workers.
     """
 
-    def __init__(self, config: RunConfig | None = None, **overrides):
+    def __init__(
+        self,
+        config: RunConfig | None = None,
+        serve: ServeConfig | None = None,
+        **overrides,
+    ):
         if config is None:
             config = RunConfig(**overrides)
         elif overrides:
             config = config.with_overrides(**overrides)
         self.config = config
+        self.serve_config = serve
         self._context: ExperimentContext | None = None
         self._backend: ExecutionBackend | None = None
         self._backend_resolved = False
@@ -412,6 +443,96 @@ class RobustDesignSession:
         self._publish_metrics()
         return result
 
+    # -- the streaming entry point ---------------------------------------------------
+
+    def daemon(self, serve: ServeConfig | None = None, **overrides) -> ServeDaemon:
+        """Build the online tuning daemon for this session (docs/serving.md).
+
+        ``serve`` overrides the session's attached :class:`ServeConfig`
+        (both default to ``ServeConfig()``); keyword ``overrides`` patch
+        individual serve knobs.  Run-config knobs (scale, engine,
+        backend, …) come from the session as everywhere else — one
+        facade, one configuration path.
+        """
+        cfg = serve if serve is not None else self.serve_config
+        if cfg is None:
+            cfg = ServeConfig()
+        if overrides:
+            cfg = cfg.with_overrides(**overrides)
+        workload = self.config.workload
+        window_days = (
+            cfg.window_days if cfg.window_days is not None else float(self.config.window_days)
+        )
+        threshold = (
+            cfg.threshold
+            if cfg.threshold is not None
+            else self.context.default_gamma(workload)
+        )
+        if cfg.policy == "periodic":
+            policy = PeriodicPolicy(every=cfg.every)
+        else:
+            policy = DriftTriggeredPolicy(self.context.distance, threshold)
+        if cfg.source is None or cfg.source == "trace":
+            source: QuerySource = TraceSource(
+                self.context.trace(workload), window_days=window_days
+            )
+        else:
+            source = resolve_source(cfg.source)
+        checkpoint_path = (
+            cfg.checkpoint_path
+            if cfg.checkpoint_path is not None
+            else self.config.checkpoint_path
+        )
+        resume = cfg.resume if cfg.resume is not None else self.config.resume
+        if resume and checkpoint_path is None:
+            raise ValueError("serve resume requires a checkpoint path")
+        checkpointer = None
+        if checkpoint_path is not None:
+            checkpointer = RunCheckpointer(
+                checkpoint_path,
+                every=(
+                    cfg.checkpoint_every
+                    if cfg.checkpoint_every is not None
+                    else self.config.checkpoint_every
+                ),
+                resume=resume,
+                metrics=self.config.metrics,
+            )
+        # ``submit`` needs a real backend; the inline serial path maps to
+        # an explicit SerialBackend (reference semantics, blocking swaps).
+        backend = self.backend if self.backend is not None else SerialBackend()
+        return ServeDaemon(
+            scale=self.config.scale(),
+            workload=workload,
+            engine=self.config.engine,
+            gamma=self.gamma,
+            designer="CliffGuard",
+            adapter=self.adapter,
+            source=source,
+            policy=policy,
+            window_days=window_days,
+            serve=cfg,
+            backend=backend,
+            distance=self.context.distance,
+            threshold=threshold,
+            checkpointer=checkpointer,
+        )
+
+    def serve(self, serve: ServeConfig | None = None, **overrides) -> ServeOutcome:
+        """Run the online tuning daemon to stream end (or ``max_queries``).
+
+        Ingests the configured query stream, prices every query against
+        the epoch-fenced active design, launches background CliffGuard
+        re-designs when the policy fires, and hot-swaps them in — see
+        docs/serving.md for the architecture and guarantees.  Emits the
+        ``serve.*`` event/metric family when tracing is on.
+        """
+        daemon = self.daemon(serve, **overrides)
+        with self._tracing():
+            outcome = daemon.run()
+        self._publish_metrics()
+        return outcome
+
     # -- lifecycle ------------------------------------------------------------------
 
     def close(self) -> None:
@@ -436,3 +557,22 @@ class RobustDesignSession:
             if getattr(self.config, f.name) != f.default
         )
         return f"RobustDesignSession({knobs})"
+
+
+def serve_session(
+    config: RunConfig | None = None,
+    serve: ServeConfig | None = None,
+    **overrides,
+) -> RobustDesignSession:
+    """A session pre-wired for online serving (re-exported as
+    ``repro.serve_session``).
+
+    ``config`` carries the batch core, ``serve`` the streaming knobs;
+    keyword ``overrides`` patch the run config.  The returned session's
+    :meth:`RobustDesignSession.serve` runs the daemon::
+
+        outcome = repro.serve_session(workload="R1").serve(max_queries=500)
+    """
+    if serve is None:
+        serve = ServeConfig()
+    return RobustDesignSession(config, serve=serve, **overrides)

@@ -9,7 +9,13 @@ Commands:
 * ``gamma`` — the Figure-8/9 robustness-knob sweep,
 * ``stats`` — cost-evaluation-service counters for a CliffGuard replay
   (what-if calls, cache hits, dedup ratio, costing wall-time), plus the
-  process-wide metrics registry (:mod:`repro.obs`).
+  process-wide metrics registry (:mod:`repro.obs`),
+* ``serve`` — the online tuning daemon: ingest a query stream (replayed
+  trace, or a newline-JSON socket via ``--listen``), re-design in the
+  background when the policy fires, hot-swap atomically, checkpoint at
+  every boundary (docs/serving.md),
+* ``feed`` — the matching producer: generate the drifting trace at the
+  given scale and stream it into a ``repro serve`` socket.
 
 Every command builds a :class:`repro.api.RobustDesignSession` from the
 flags; ``--backend``/``--jobs`` select the execution backend that fans out
@@ -24,7 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import RobustDesignSession, RunConfig
+from repro.api import RobustDesignSession, RunConfig, ServeConfig
 from repro.designers import registry
 from repro.harness.experiments import run_costing_stats, run_table1
 from repro.harness.reporting import (
@@ -236,6 +242,95 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    serve_config = ServeConfig(
+        source=args.listen or "trace",
+        policy=args.policy,
+        threshold=args.threshold,
+        every=args.every,
+        min_window_queries=args.min_window_queries,
+        swap_mode=args.swap_mode,
+        redesign_timeout=args.redesign_timeout,
+        max_queries=args.max_queries,
+        drain=not args.no_drain,
+    )
+    with _session(args) as session:
+        outcome = session.serve(serve_config)
+    # Deterministic summary: no wall-clock, no resumed flag — a resumed
+    # run's stdout must diff clean against the uninterrupted baseline.
+    print(f"serve {args.workload} on {args.engine}: source={serve_config.source_label()}")
+    print(
+        f"position {outcome.position}  windows {outcome.windows}  "
+        f"triggers {outcome.triggers}"
+    )
+    print(
+        f"redesigns launched {outcome.redesigns_launched}  "
+        f"failed {outcome.redesigns_failed}  swaps {outcome.swaps}"
+    )
+    print(f"final epoch {outcome.final_epoch}  digest {outcome.final_design_digest}")
+    print(
+        f"structures {outcome.structure_count}  "
+        f"price_bytes {outcome.design_price_bytes}"
+    )
+    print(f"drift readings {outcome.drift_readings}  alarms {outcome.drift_alarms}")
+    priced = 0 if outcome.priced is None else len(outcome.priced)
+    print(f"priced {priced}  dropped {outcome.dropped}")
+    return 0 if outcome.dropped == 0 else 1
+
+
+def _feed_connect(spec: str, timeout: float):
+    import socket
+    import time
+
+    if spec.startswith("unix:"):
+        family, address = socket.AF_UNIX, spec[len("unix:") :]
+    elif spec.startswith("tcp:"):
+        host, _, port = spec[len("tcp:") :].rpartition(":")
+        family, address = socket.AF_INET, (host, int(port))
+    else:
+        raise SystemExit(f"feed: bad --connect {spec!r} (want unix:PATH or tcp:HOST:PORT)")
+    deadline = time.monotonic() + timeout
+    while True:
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        try:
+            sock.connect(address)
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise SystemExit(f"feed: could not connect to {spec} within {timeout:g}s")
+            time.sleep(0.05)
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import encode_control, encode_query
+
+    queries = _session(args).context.trace(args.workload)
+    if args.limit is not None:
+        queries = queries[: args.limit]
+    lines = [encode_query(q) for q in queries]
+    if args.shutdown:
+        lines.append(encode_control())
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+    sock = _feed_connect(args.connect, args.connect_timeout)
+    sock.settimeout(args.connect_timeout)
+    try:
+        sock.sendall(data)
+    except (BrokenPipeError, ConnectionResetError, TimeoutError):
+        # The daemon went away mid-stream (e.g. SIGKILLed in the CI
+        # kill-resume leg) — a rerun against the resumed daemon re-sends
+        # from the top, which is exactly what resume fast-forward expects.
+        print("feed: connection closed by server mid-stream", file=sys.stderr)
+        return 0
+    finally:
+        sock.close()
+    print(
+        f"feed: sent {len(queries)} queries to {args.connect}"
+        + (" + shutdown" if args.shutdown else "")
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +362,85 @@ def build_parser() -> argparse.ArgumentParser:
         if "limit" in extras:
             sub.add_argument("--limit", type=int, default=10)
         sub.set_defaults(handler=handler)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the online tuning daemon (docs/serving.md)"
+    )
+    _add_scale_arguments(serve)
+    serve.add_argument("--workload", choices=WORKLOADS, default="R1")
+    serve.add_argument("--engine", choices=("columnar", "rowstore"), default="columnar")
+    serve.add_argument(
+        "--listen",
+        metavar="SPEC",
+        default=None,
+        help="accept queries on a socket (unix:PATH or tcp:HOST:PORT); "
+        "default replays the generated trace in-process",
+    )
+    serve.add_argument("--policy", choices=("drift", "periodic"), default="drift")
+    serve.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="drift-policy trigger threshold (default: the session Γ)",
+    )
+    serve.add_argument(
+        "--every", type=int, default=1, help="periodic-policy cadence in windows"
+    )
+    serve.add_argument(
+        "--min-window-queries",
+        type=int,
+        default=8,
+        help="skip the trigger check on windows thinner than this",
+    )
+    serve.add_argument(
+        "--swap-mode",
+        choices=("async", "boundary"),
+        default="boundary",
+        help="swap as soon as the re-design lands (async) or at the next "
+        "window boundary (boundary; deterministic, kill-resume safe)",
+    )
+    serve.add_argument(
+        "--redesign-timeout",
+        type=float,
+        default=None,
+        help="cancel a background re-design slower than this many seconds",
+    )
+    serve.add_argument(
+        "--max-queries", type=int, default=None, help="stop after N queries"
+    )
+    serve.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="cancel (instead of await) an in-flight re-design at stream end",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    feed = subparsers.add_parser(
+        "feed", help="stream the generated trace into a repro serve socket"
+    )
+    _add_scale_arguments(feed)
+    feed.add_argument("--workload", choices=WORKLOADS, default="R1")
+    feed.add_argument(
+        "--connect",
+        metavar="SPEC",
+        required=True,
+        help="daemon address (unix:PATH or tcp:HOST:PORT)",
+    )
+    feed.add_argument(
+        "--limit", type=int, default=None, help="send only the first N queries"
+    )
+    feed.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send the shutdown control after the last query",
+    )
+    feed.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to retry the initial connect (and per-send timeout)",
+    )
+    feed.set_defaults(handler=cmd_feed)
     return parser
 
 

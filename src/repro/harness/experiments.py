@@ -46,6 +46,7 @@ from repro.engine.optimizer import ColumnarCostModel
 from repro.obs import tracer
 from repro.parallel.backends import ExecutionBackend, resolve_backend
 from repro.rowstore.optimizer import RowstoreCostModel
+from repro.serve.sources import TraceSource
 from repro.state import RunCheckpointer, costing_state, restore_costing, run_key
 from repro.workload.distance import SWGO, LatencyAwareDistance, WorkloadDistance
 from repro.workload.generator import (
@@ -158,6 +159,17 @@ class ExperimentContext:
         """The paper's simplest knob strategy: average past drift."""
         history = drift_history(self.trace_windows(name), self.distance)
         return gamma_from_history(history, strategy="avg")
+
+    def window_source(self, name: str) -> TraceSource:
+        """The trace wrapped as a bounded :class:`QuerySource`.
+
+        The source carries the cached window list verbatim, so harness
+        calls taking a source produce bit-identical windows to the old
+        raw-list signature.
+        """
+        return TraceSource.from_windows(
+            self.trace_windows(name), window_days=self.scale.window_days
+        )
 
     # -- engine stacks -----------------------------------------------------------
 
@@ -413,10 +425,9 @@ def run_designer_comparison(
     executor = resolve_backend(backend)
     if executor is None:
         adapter, nominal = _engine_stack(context, engine)
-        windows = context.trace_windows(workload)
         designers, samplers = _build_designers(context, adapter, nominal, gamma, which)
         return replay(
-            windows,
+            context.window_source(workload),
             designers,
             adapter,
             candidate_source=nominal,
@@ -476,7 +487,7 @@ def _designer_comparison_task(task) -> tuple[str, DesignerRun, list[int]]:
     adapter, nominal = _engine_stack(context, engine)
     designers, samplers = _build_designers(context, adapter, nominal, gamma, which=[name])
     outcome = replay(
-        context.trace_windows(workload),
+        context.window_source(workload),
         designers,
         adapter,
         candidate_source=nominal,
@@ -589,7 +600,7 @@ def _cliffguard_gamma_run(
         context, adapter, nominal, gamma, which=["CliffGuard"]
     )
     outcome = replay(
-        context.trace_windows(workload),
+        context.window_source(workload),
         designers,
         adapter,
         candidate_source=nominal,
@@ -658,7 +669,7 @@ def run_distance_ablation(
             max_iterations=context.scale.iterations,
         )
         outcome = replay(
-            windows,
+            TraceSource.from_windows(windows, window_days=context.scale.window_days),
             {"CliffGuard": designer},
             adapter,
             candidate_source=nominal,
@@ -683,7 +694,7 @@ def run_sample_size_sweep(
     """CliffGuard's latency vs neighborhood sample count n (Figure 12)."""
     adapter = context.columnar_adapter()
     nominal = ColumnarNominalDesigner(adapter)
-    windows = context.trace_windows(workload)
+    windows = context.window_source(workload)
     gamma = context.default_gamma(workload)
     results: dict[int, tuple[float, float]] = {}
     for n in sample_sizes:
@@ -715,7 +726,7 @@ def run_iteration_sweep(
     """CliffGuard's latency vs iteration budget (Figure 13)."""
     adapter = context.columnar_adapter()
     nominal = ColumnarNominalDesigner(adapter)
-    windows = context.trace_windows(workload)
+    windows = context.window_source(workload)
     gamma = context.default_gamma(workload)
     results: dict[int, tuple[float, float]] = {}
     for iterations in iteration_counts:
@@ -757,11 +768,10 @@ def run_offline_time(
     """Wall-clock design time vs modeled deployment time (Figure 14)."""
     adapter = context.columnar_adapter()
     nominal = ColumnarNominalDesigner(adapter)
-    windows = context.trace_windows(workload)
     gamma = context.default_gamma(workload)
     designers, samplers = _build_designers(context, adapter, nominal, gamma, which)
     outcome = replay(
-        windows,
+        context.window_source(workload),
         designers,
         adapter,
         candidate_source=nominal,
@@ -819,13 +829,12 @@ def run_costing_stats(
     the service counters survive through the checkpointed cache export.
     """
     adapter, nominal = _engine_stack(context, engine, backend)
-    windows = context.trace_windows(workload)
     gamma = context.default_gamma(workload)
     designers, samplers = _build_designers(
         context, adapter, nominal, gamma, which=["CliffGuard"]
     )
     outcome = replay(
-        windows,
+        context.window_source(workload),
         designers,
         adapter,
         candidate_source=nominal,
@@ -948,7 +957,7 @@ def _schedule_task(task) -> tuple[str, int, ScheduleOutcome]:
             s.set_pool(past)
 
     outcome = scheduled_replay(
-        windows,
+        TraceSource.from_windows(windows, window_days=scale.window_days),
         designer,
         adapter,
         PeriodicPolicy(every=every),

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.costing.service import workload_fingerprint
 from repro.designers.base import DesignAdapter, Designer
 from repro.obs import tracer
+from repro.serve.sources import QuerySource, as_windows
 from repro.state import (
     RunCheckpointer,
     costing_state,
@@ -174,7 +175,7 @@ class ReplayResult:
 
 
 def replay(
-    windows: list[Workload],
+    windows: "QuerySource | list[Workload]",
     designers: dict[str, Designer],
     adapter: DesignAdapter,
     candidate_source=None,
@@ -187,6 +188,11 @@ def replay(
     state_key: str | None = None,
 ) -> ReplayResult:
     """Run the full replay; see the module docstring for the protocol.
+
+    ``windows`` is a bounded :class:`~repro.serve.sources.QuerySource`
+    (typically a :class:`~repro.serve.sources.TraceSource` carrying its
+    window length).  Passing a raw ``list[Workload]`` still works but is
+    deprecated — batch and serve share one source-of-queries abstraction.
 
     ``candidate_source`` (a nominal designer) drives the beneficial-query
     filter; pass ``None`` to evaluate on every parseable query.
@@ -206,6 +212,7 @@ def replay(
     overrides the derived run-identity key when the caller already knows
     its run configuration digest.
     """
+    windows = as_windows(windows)
     if checkpointer is not None and state_key is None:
         state_key = run_key(
             "replay",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.costing.service import workload_fingerprint
 from repro.designers.base import DesignAdapter, Designer
 from repro.obs import tracer
+from repro.serve.sources import QuerySource, as_windows
 from repro.state import (
     RunCheckpointer,
     costing_state,
@@ -167,7 +168,7 @@ DEPLOY_SECONDS_PER_GB = 360.0
 
 
 def scheduled_replay(
-    windows: list[Workload],
+    windows: "QuerySource | list[Workload]",
     designer: Designer,
     adapter: DesignAdapter,
     policy: RedesignPolicy,
@@ -177,6 +178,10 @@ def scheduled_replay(
     state_key: str | None = None,
 ) -> ScheduleOutcome:
     """Replay ``windows`` re-designing only when ``policy`` says so.
+
+    ``windows`` is a bounded :class:`~repro.serve.sources.QuerySource`
+    (a raw ``list[Workload]`` still works but is deprecated; wrap fixed
+    traces in :class:`~repro.serve.sources.TraceSource`).
 
     The design built from window ``i`` serves window ``i+1`` (and later
     windows until the next re-design).  ``evaluation_windows`` optionally
@@ -197,6 +202,7 @@ def scheduled_replay(
     warm cost cache) after every completed window and resumes from the
     latest snapshot, bit-identically (docs/state.md).
     """
+    windows = as_windows(windows)
     if evaluation_windows is None:
         evaluation = windows
     else:

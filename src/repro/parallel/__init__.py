@@ -16,6 +16,12 @@ The three hot fan-out sites routed through it:
 * :func:`repro.harness.experiments.run_designer_comparison` and
   :func:`repro.harness.experiments.run_schedule_comparison`
   (per-designer replays).
+
+The online daemon (:mod:`repro.serve`) uses the fourth entry point,
+:meth:`~repro.parallel.backends.ExecutionBackend.submit`, to launch one
+background re-design at a time and poll its
+:class:`~repro.parallel.jobs.BackgroundJob` handle while ingestion
+continues.
 """
 
 from repro.parallel.backends import (
@@ -27,6 +33,7 @@ from repro.parallel.backends import (
     backend_from_env,
     resolve_backend,
 )
+from repro.parallel.jobs import BackgroundJob
 from repro.parallel.partition import chunk_count, contiguous_chunks, derive_seed
 from repro.parallel.shm import (
     ShmBatchHandle,
@@ -37,6 +44,7 @@ from repro.parallel.shm import (
 
 __all__ = [
     "BackendStats",
+    "BackgroundJob",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",

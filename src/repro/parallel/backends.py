@@ -30,6 +30,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
 from repro.obs import get_metrics, tracer
+from repro.parallel.jobs import BackgroundJob
 
 logger = logging.getLogger("repro.parallel")
 
@@ -98,6 +99,28 @@ class ExecutionBackend(abc.ABC):
     def _run(self, fn, tasks: list, timeout: float | None) -> list:
         """Backend-specific scheduling of a non-empty task list."""
 
+    def submit(self, fn, task) -> BackgroundJob:
+        """Launch one task in the background; returns a poll handle.
+
+        The serial backend runs the task inline *now* (the reference
+        semantics — still deterministic, but the caller blocks), so the
+        handle it returns is already settled.  Errors never propagate
+        from ``submit`` itself: they surface through the handle's
+        :meth:`~repro.parallel.jobs.BackgroundJob.exception`, which is
+        what lets a long-running caller degrade instead of dying.
+        """
+        self.stats.tasks += 1
+        get_metrics().counter("parallel.submits").inc()
+        started = time.perf_counter()
+        try:
+            value = fn(task)
+        except Exception as exc:
+            job = BackgroundJob.failed(exc, backend_name=self.name)
+        else:
+            job = BackgroundJob.completed(value, backend_name=self.name)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return job
+
     def shutdown(self) -> None:
         """Release pooled workers (idempotent; the backend stays usable —
         pools are recreated lazily on the next ``map``)."""
@@ -159,6 +182,34 @@ class _PoolBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    def submit(self, fn, task) -> BackgroundJob:
+        """Launch one task on the pool without blocking the caller.
+
+        If the pool cannot accept work (broken executor, interpreter
+        shutdown) the task degrades to an inline run in the parent —
+        same policy as :meth:`map`'s serial retry.
+        """
+        self.stats.tasks += 1
+        get_metrics().counter("parallel.submits").inc()
+        try:
+            future = self._executor().submit(fn, task)
+        except Exception as exc:
+            logger.warning(
+                "%s backend could not submit background task (%r); running inline",
+                self.name,
+                exc,
+            )
+            self.shutdown()
+            return self._submit_inline(fn, task)
+        return BackgroundJob(future, backend_name=self.name)
+
+    def _submit_inline(self, fn, task) -> BackgroundJob:
+        try:
+            value = fn(task)
+        except Exception as exc:
+            return BackgroundJob.failed(exc, backend_name=self.name)
+        return BackgroundJob.completed(value, backend_name=self.name)
 
     def _run(self, fn, tasks: list, timeout: float | None) -> list:
         t = tracer()

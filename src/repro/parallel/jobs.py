@@ -1,0 +1,117 @@
+"""Background job handles for fire-and-poll fan-out.
+
+:meth:`ExecutionBackend.map` is the batch contract: submit everything,
+block, reassemble in order.  The online daemon needs the opposite shape
+— launch **one** re-design, keep serving queries, and poll for the
+result at window boundaries.  :class:`BackgroundJob` is that handle:
+a thin, backend-agnostic wrapper over a ``concurrent.futures.Future``
+(pool backends) or an already-computed value (the serial backend, which
+runs the task inline at submit time — the reference semantics, still
+deterministic).
+
+The handle never raises from :meth:`poll`-style accessors; callers ask
+:meth:`done`/:meth:`exception` and decide how to degrade, which is what
+lets the daemon keep serving on the old design when a re-design worker
+crashes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+
+class BackgroundJob:
+    """Handle for one task submitted via :meth:`ExecutionBackend.submit`."""
+
+    def __init__(self, future: Future | None = None, backend_name: str = "inline"):
+        self._future = future
+        self._result = None
+        self._error: BaseException | None = None
+        self._settled = future is None
+        self.backend_name = backend_name
+        self.started = time.perf_counter()
+        self._finished: float | None = self.started if self._settled else None
+
+    @classmethod
+    def completed(cls, value, backend_name: str = "inline") -> "BackgroundJob":
+        """A job that already finished successfully (serial submit)."""
+        job = cls(backend_name=backend_name)
+        job._result = value
+        return job
+
+    @classmethod
+    def failed(cls, error: BaseException, backend_name: str = "inline") -> "BackgroundJob":
+        """A job that already finished with an error (serial submit)."""
+        job = cls(backend_name=backend_name)
+        job._error = error
+        return job
+
+    def _settle(self, timeout: float | None) -> None:
+        if self._settled:
+            return
+        try:
+            self._result = self._future.result(timeout=timeout)
+        except FutureTimeoutError:
+            return  # not settled yet — caller keeps polling
+        except BaseException as error:  # worker crash, cancellation, task error
+            self._error = error
+        self._settled = True
+        self._finished = time.perf_counter()
+
+    def done(self) -> bool:
+        """True once the task finished (successfully or not)."""
+        if not self._settled and self._future.done():
+            self._settle(timeout=0)
+        return self._settled
+
+    def running(self) -> bool:
+        return not self.done()
+
+    def cancel(self) -> bool:
+        """Try to cancel; returns True if the task will never run.
+
+        A task already executing in a pool worker cannot be stopped
+        cooperatively — cancel then reports False and the caller should
+        abandon the handle (the result is discarded on arrival).
+        """
+        if self._settled:
+            return False
+        cancelled = self._future.cancel()
+        if cancelled:
+            self._error = CancelledError()
+            self._settled = True
+            self._finished = time.perf_counter()
+        return cancelled
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block up to ``timeout`` seconds; True once settled."""
+        self._settle(timeout)
+        return self._settled
+
+    def result(self, timeout: float | None = None):
+        """The task's return value (raises its error; raises on timeout)."""
+        self._settle(timeout)
+        if not self._settled:
+            raise FutureTimeoutError(f"background job still running after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The task's error, ``None`` on success (raises on timeout)."""
+        self._settle(timeout)
+        if not self._settled:
+            raise FutureTimeoutError(f"background job still running after {timeout}s")
+        return self._error
+
+    def wall_seconds(self) -> float | None:
+        """Submit-to-settle wall time (``None`` while still running)."""
+        if self._finished is None:
+            return None
+        return self._finished - self.started
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "running"
+        return f"<BackgroundJob {state} backend={self.backend_name}>"

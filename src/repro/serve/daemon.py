@@ -1,0 +1,582 @@
+"""The crash-restartable online tuning daemon.
+
+One asyncio loop ingests a live query stream (any
+:class:`~repro.serve.sources.QuerySource`), prices every query against
+the currently deployed design through an epoch-fenced
+:class:`~repro.serve.handle.ActiveDesign` handle, maintains a sliding
+:class:`~repro.workload.monitor.WorkloadMonitor` window, and evaluates a
+:class:`~repro.harness.scheduler.RedesignPolicy` at every window
+boundary.  When the policy fires, a CliffGuard re-design launches **in
+the background** on the session's execution backend
+(:meth:`~repro.parallel.backends.ExecutionBackend.submit`) — ingestion
+never stalls — and the finished design is hot-swapped in atomically.
+
+Guarantees (docs/serving.md):
+
+* **Zero dropped queries** — every ingested query is priced and
+  recorded exactly once.
+* **Per-query epoch consistency** — each costing pins one
+  ``(epoch, design)`` pair for its whole duration; a swap mid-costing
+  retires the old epoch but never invalidates the pin.
+* **Graceful degradation** — a crashed or slow background re-design
+  leaves the old design serving; the failure is logged
+  (``serve.degraded``) and the policy retries at a later boundary.
+* **Crash-restartability** — the daemon checkpoints through
+  :mod:`repro.state` at every window boundary and swap; a SIGKILLed
+  daemon resumed with ``--resume`` replays to the identical stream
+  position, window contents, and active design (deterministic in
+  ``swap_mode="boundary"``; async swaps are wall-clock-timed by
+  design).
+
+The per-query hot path is synchronous and deterministic; asyncio enters
+only at the stream edge, which is what keeps the kill-resume contract
+testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import astuple, dataclass, field
+
+from repro.designers import registry
+from repro.harness.scheduler import RedesignPolicy
+from repro.obs import get_metrics, tracer
+from repro.parallel.backends import ExecutionBackend
+from repro.parallel.jobs import BackgroundJob
+from repro.serve.config import ServeConfig
+from repro.serve.handle import ActiveDesign, design_digest
+from repro.serve.sources import QuerySource
+from repro.state import RunCheckpointer, costing_state, restore_costing, run_key
+from repro.workload.monitor import WorkloadMonitor
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+#: Checkpoint kind for daemon snapshots (docs/state.md kinds table).
+CHECKPOINT_KIND = "serve"
+
+#: Per-re-design seed stride: each background re-design gets its own
+#: deterministic sampler stream (seed + stride * redesign_index), so a
+#: resumed daemon relaunching re-design *k* draws identical neighbors.
+REDESIGN_SEED_STRIDE = 9973
+
+
+@dataclass(frozen=True)
+class PricedQuery:
+    """One ingested query's pricing record."""
+
+    position: int
+    timestamp: float
+    epoch: int
+    cost_ms: float | None
+
+
+@dataclass
+class PendingRedesign:
+    """One background re-design in flight."""
+
+    index: int
+    window: Workload
+    task: tuple
+    launch_position: int
+    job: BackgroundJob | None = None
+
+
+@dataclass
+class ServeOutcome:
+    """Summary of one daemon run (returned by ``RobustDesignSession.serve``)."""
+
+    workload: str
+    engine: str
+    position: int = 0
+    windows: int = 0
+    triggers: int = 0
+    redesigns_launched: int = 0
+    redesigns_failed: int = 0
+    swaps: int = 0
+    final_epoch: int = 0
+    final_design: object = None
+    final_design_digest: str = ""
+    structure_count: int = 0
+    design_price_bytes: int = 0
+    drift_readings: int = 0
+    drift_alarms: int = 0
+    priced: list[PricedQuery] | None = None
+    resumed: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def dropped(self) -> int:
+        """Ingested-but-unpriced queries (the invariant says zero)."""
+        if self.priced is None:
+            return 0
+        return self.position - len(self.priced)
+
+
+def _redesign_task(task):
+    """One background CliffGuard re-design (module-level: process task).
+
+    Rebuilds the experiment context from the scale — deterministic given
+    the scale's seed and the re-design index, so relaunching the same
+    task after a crash lands on the bit-identical design.
+    """
+    # Local import: daemon.py is imported by the api facade while the
+    # harness package is still initialising.
+    from repro.harness.experiments import ExperimentContext, _engine_stack
+    from repro.workload.sampler import NeighborhoodSampler
+
+    scale, engine, designer_name, gamma, redesign_index, window_queries, pool = task
+    started = time.perf_counter()
+    context = ExperimentContext(scale)
+    adapter, nominal = _engine_stack(context, engine)
+
+    def make_sampler():
+        return NeighborhoodSampler(
+            context.distance,
+            context.schema,
+            seed=scale.seed + REDESIGN_SEED_STRIDE * (redesign_index + 1),
+        )
+
+    designer, sampler = registry.get(
+        designer_name,
+        adapter,
+        nominal,
+        gamma,
+        make_sampler=make_sampler,
+        n_samples=scale.n_samples,
+        max_iterations=scale.iterations,
+    )
+    if sampler is not None and pool:
+        sampler.set_pool(list(pool))
+    design = designer.design(Workload(list(window_queries)))
+    return design, time.perf_counter() - started
+
+
+class ServeDaemon:
+    """The online tuning loop.  Built by the api facade; see
+    :meth:`repro.api.RobustDesignSession.serve`."""
+
+    def __init__(
+        self,
+        *,
+        scale,
+        workload: str,
+        engine: str,
+        gamma: float,
+        designer: str,
+        adapter,
+        source: QuerySource,
+        policy: RedesignPolicy,
+        window_days: float,
+        serve: ServeConfig,
+        backend: ExecutionBackend,
+        distance,
+        threshold: float,
+        checkpointer: RunCheckpointer | None = None,
+    ):
+        self.scale = scale
+        self.workload = workload
+        self.engine = engine
+        self.gamma = gamma
+        self.designer_name = designer
+        self.adapter = adapter
+        self.source = source
+        self.policy = policy
+        self.window_days = window_days
+        self.serve = serve
+        self.backend = backend
+        self.checkpointer = checkpointer
+        self.monitor = WorkloadMonitor(
+            distance,
+            threshold,
+            window_days=window_days,
+            measure_every_days=max(window_days / 4.0, 1e-9),
+            refractory_days=window_days,
+        )
+        self.active = ActiveDesign(adapter.empty_design(), epoch=0)
+        # -- mutable run state (everything below is checkpointed) --------------
+        self.position = 0
+        self.window_anchor: float | None = None
+        self.window_index = 0
+        self.windows_seen = 0
+        self.triggers = 0
+        self.redesigns_launched = 0
+        self.redesigns_failed = 0
+        self.design_window: Workload | None = None
+        self.pending: PendingRedesign | None = None
+        self.history: list[WorkloadQuery] = []
+        self.priced: list[PricedQuery] = []
+        self.swaps = 0
+        self.resumed = False
+        self._swap_dirty = False
+        self._state_key = run_key(
+            CHECKPOINT_KIND,
+            astuple(scale),
+            workload,
+            engine,
+            gamma,
+            designer,
+            serve.policy,
+            threshold,
+            serve.every,
+            window_days,
+            serve.min_window_queries,
+            serve.swap_mode,
+            serve.max_queries,
+            serve.history_limit,
+        )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def _payload(self) -> dict:
+        snapshot = self.active.snapshot()
+        return {
+            "position": self.position,
+            "window_anchor": self.window_anchor,
+            "window_index": self.window_index,
+            "windows_seen": self.windows_seen,
+            "triggers": self.triggers,
+            "redesigns_launched": self.redesigns_launched,
+            "redesigns_failed": self.redesigns_failed,
+            "swaps": self.swaps,
+            "epoch": snapshot.epoch,
+            "design": snapshot.design,
+            "design_window": self.design_window,
+            "policy": self.policy.state(),
+            "monitor": self.monitor.state(),
+            "history": list(self.history),
+            "priced": list(self.priced) if self.serve.record_queries else None,
+            "pending": None
+            if self.pending is None
+            else {
+                "index": self.pending.index,
+                "window": self.pending.window,
+                "task": self.pending.task,
+                "launch_position": self.pending.launch_position,
+            },
+            "costing": costing_state(self.adapter),
+        }
+
+    def _checkpoint(self, boundary: str, force: bool = False) -> None:
+        if self.checkpointer is None:
+            return
+        if force:
+            self.checkpointer.save(CHECKPOINT_KIND, self._state_key, self._payload())
+        else:
+            self.checkpointer.step(CHECKPOINT_KIND, self._state_key, self._payload)
+
+    def _restore(self) -> bool:
+        if self.checkpointer is None:
+            return False
+        state = self.checkpointer.load(CHECKPOINT_KIND, self._state_key)
+        if state is None:
+            return False
+        self.position = state["position"]
+        self.window_anchor = state["window_anchor"]
+        self.window_index = state["window_index"]
+        self.windows_seen = state["windows_seen"]
+        self.triggers = state["triggers"]
+        self.redesigns_launched = state["redesigns_launched"]
+        self.redesigns_failed = state["redesigns_failed"]
+        self.swaps = state["swaps"]
+        self.active.restore(state["design"], state["epoch"])
+        self.active.swaps = state["swaps"]
+        self.design_window = state["design_window"]
+        self.policy.restore(state["policy"])
+        self.monitor.restore(state["monitor"])
+        self.history = list(state["history"])
+        self.priced = list(state["priced"]) if state["priced"] is not None else []
+        restore_costing(self.adapter, state["costing"])
+        pending = state["pending"]
+        if pending is not None:
+            # The in-flight job died with the process; relaunch it.  The
+            # task tuple fully determines the design, so the resumed run
+            # swaps in the identical result.
+            self.pending = PendingRedesign(
+                index=pending["index"],
+                window=pending["window"],
+                task=pending["task"],
+                launch_position=pending["launch_position"],
+            )
+            self.pending.job = self.backend.submit(_redesign_task, self.pending.task)
+        self.resumed = True
+        return True
+
+    # -- hot path ----------------------------------------------------------------
+
+    def _price(self, query: WorkloadQuery) -> PricedQuery:
+        with self.active.pin() as (epoch, design):
+            try:
+                profile = self.adapter.profile(query.sql)
+            except ValueError:
+                cost = None
+            else:
+                cost = self.adapter.query_cost(profile, design)
+        return PricedQuery(
+            position=self.position,
+            timestamp=query.timestamp,
+            epoch=epoch,
+            cost_ms=cost,
+        )
+
+    def _ingest(self, query: WorkloadQuery) -> None:
+        if self.window_anchor is None:
+            self.window_anchor = query.timestamp
+        index = int((query.timestamp - self.window_anchor) // self.window_days)
+        while index > self.window_index:
+            # Increment first: every checkpoint written inside the
+            # boundary (window step, forced swap save) must snapshot the
+            # post-boundary index, or a resumed run re-fires the boundary.
+            completed = self.window_index
+            self.window_index += 1
+            self._boundary(completed)
+        record = self._price(query)
+        self.position += 1
+        self.monitor.observe(query)
+        if self.serve.history_limit:
+            self.history.append(query)
+            if len(self.history) > self.serve.history_limit:
+                del self.history[: len(self.history) - self.serve.history_limit]
+        if self.serve.record_queries:
+            self.priced.append(record)
+        metrics = get_metrics()
+        metrics.counter("serve.ingested").inc()
+        metrics.gauge("serve.epoch").set(record.epoch)
+
+    # -- boundary machinery --------------------------------------------------------
+
+    def _boundary(self, index: int) -> None:
+        """A window boundary was crossed; ``index`` is the completed window."""
+        self.windows_seen += 1
+        window = self.monitor.current_window
+        t = tracer()
+        metrics = get_metrics()
+        metrics.counter("serve.windows").inc()
+        metrics.gauge("serve.window_fill").set(len(window))
+        metrics.gauge("serve.backlog").set(self.source.backlog())
+        last_reading = self.monitor.readings[-1].distance if self.monitor.readings else None
+        if t.enabled:
+            t.emit(
+                "serve.window",
+                index=index,
+                position=self.position,
+                fill=len(window),
+                epoch=self.active.epoch,
+                distance=last_reading,
+                backlog=self.source.backlog(),
+            )
+        if self.pending is not None and self.serve.swap_mode == "boundary":
+            # Deterministic barrier: the swap decision depends only on
+            # the boundary index, never on wall-clock timing.
+            self.pending.job.wait()
+            self._finish_pending()
+        self._poll_pending()
+        if self.pending is None and len(window) >= self.serve.min_window_queries:
+            if self.policy.should_redesign(index, self.design_window, window):
+                self.triggers += 1
+                metrics.counter("serve.triggers").inc()
+                if t.enabled:
+                    t.emit(
+                        "serve.trigger",
+                        index=index,
+                        position=self.position,
+                        policy=self.serve.policy,
+                        distance=last_reading,
+                    )
+                self._launch(index, window)
+        force = self._swap_dirty
+        self._swap_dirty = False
+        self._checkpoint("window", force=force)
+
+    def _launch(self, index: int, window: Workload) -> None:
+        task = (
+            self.scale,
+            self.engine,
+            self.designer_name,
+            self.gamma,
+            self.redesigns_launched,
+            tuple(window),
+            tuple(self.history),
+        )
+        self.pending = PendingRedesign(
+            index=self.redesigns_launched,
+            window=window,
+            task=task,
+            launch_position=self.position,
+        )
+        self.redesigns_launched += 1
+        get_metrics().counter("serve.redesigns").inc()
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "serve.redesign",
+                index=self.pending.index,
+                window=index,
+                position=self.position,
+                window_queries=len(window),
+                backend=self.backend.name,
+            )
+        self.pending.job = self.backend.submit(_redesign_task, task)
+
+    def _poll_pending(self) -> None:
+        """Non-blocking progress check on the in-flight re-design."""
+        if self.pending is None:
+            return
+        job = self.pending.job
+        if not job.done():
+            timeout = self.serve.redesign_timeout
+            if timeout is not None and time.perf_counter() - job.started > timeout:
+                job.cancel()
+                self._degrade(TimeoutError(f"re-design exceeded {timeout}s"))
+            return
+        if self.serve.swap_mode == "async":
+            self._finish_pending()
+
+    def _finish_pending(self) -> None:
+        pending = self.pending
+        error = pending.job.exception()
+        if error is not None:
+            self._degrade(error)
+            return
+        design, design_seconds = pending.job.result()
+        retired, installed = self.active.swap(design)
+        self.swaps += 1
+        self.design_window = pending.window
+        self.monitor.rebase(pending.window)
+        stale = self.position - pending.launch_position
+        self.pending = None
+        metrics = get_metrics()
+        metrics.counter("serve.swaps").inc()
+        metrics.histogram("serve.redesign_seconds").observe(design_seconds)
+        metrics.histogram("serve.swap_stale_queries").observe(stale)
+        metrics.gauge("serve.epoch").set(installed.epoch)
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "serve.swap",
+                redesign=pending.index,
+                epoch=installed.epoch,
+                retired_epoch=retired.epoch,
+                position=self.position,
+                stale_queries=stale,
+                design_seconds=design_seconds,
+                structures=len(self.adapter.structures(installed.design)),
+                price_bytes=self.adapter.design_price(installed.design),
+            )
+        # A swap moves the design the whole stream is priced against, so
+        # it must be durable — but the snapshot may only be written at a
+        # resumable point (end of boundary, or between two queries), not
+        # here: a _boundary caller still owes its trigger check, and a
+        # snapshot taken now would skip it on resume.  Flag instead; the
+        # control points below force a save.
+        self._swap_dirty = True
+
+    def _degrade(self, error: BaseException) -> None:
+        pending = self.pending
+        self.pending = None
+        self.redesigns_failed += 1
+        get_metrics().counter("serve.redesign_failures").inc()
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "serve.degraded",
+                redesign=pending.index,
+                position=self.position,
+                epoch=self.active.epoch,
+                error=repr(error),
+            )
+
+    # -- the loop ------------------------------------------------------------------
+
+    async def run_async(self) -> ServeOutcome:
+        started = time.perf_counter()
+        resumed = self._restore()
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "serve.start",
+                workload=self.workload,
+                engine=self.engine,
+                source=self.source.describe(),
+                policy=self.serve.policy,
+                swap_mode=self.serve.swap_mode,
+                window_days=self.window_days,
+                position=self.position,
+                resumed=resumed,
+            )
+        # Fast-forward a resumed run: replayable sources re-yield the
+        # stream from the top; live producers re-send it (repro feed
+        # always does).  Either way the daemon skips what it already
+        # processed — monitor, policy, and costing state came from the
+        # snapshot.
+        skip = self.position
+        stream = self.source.stream()
+        try:
+            async for query in stream:
+                if skip > 0:
+                    skip -= 1
+                    continue
+                self._poll_pending()
+                if self._swap_dirty:
+                    # Async-mode swap between two queries: durable here,
+                    # before the next query is priced against it.
+                    self._swap_dirty = False
+                    self._checkpoint("swap", force=True)
+                self._ingest(query)
+                if (
+                    self.serve.max_queries is not None
+                    and self.position >= self.serve.max_queries
+                ):
+                    break
+        finally:
+            await stream.aclose()
+        if self.pending is not None:
+            if self.serve.drain:
+                self.pending.job.wait()
+                self._finish_pending()
+            else:
+                self.pending.job.cancel()
+                self._degrade(
+                    asyncio.CancelledError("daemon stopped with re-design in flight")
+                )
+        self._checkpoint("stop", force=True)
+        outcome = self._outcome(resumed, time.perf_counter() - started)
+        if t.enabled:
+            t.emit(
+                "serve.stop",
+                position=outcome.position,
+                windows=outcome.windows,
+                triggers=outcome.triggers,
+                swaps=outcome.swaps,
+                failures=outcome.redesigns_failed,
+                epoch=outcome.final_epoch,
+                digest=outcome.final_design_digest,
+            )
+        return outcome
+
+    def run(self) -> ServeOutcome:
+        """Drive :meth:`run_async` to completion on a fresh event loop."""
+        return asyncio.run(self.run_async())
+
+    def _outcome(self, resumed: bool, wall: float) -> ServeOutcome:
+        snapshot = self.active.snapshot()
+        return ServeOutcome(
+            workload=self.workload,
+            engine=self.engine,
+            position=self.position,
+            windows=self.windows_seen,
+            triggers=self.triggers,
+            redesigns_launched=self.redesigns_launched,
+            redesigns_failed=self.redesigns_failed,
+            swaps=self.swaps,
+            final_epoch=snapshot.epoch,
+            final_design=snapshot.design,
+            final_design_digest=design_digest(self.adapter, snapshot.design),
+            structure_count=len(self.adapter.structures(snapshot.design)),
+            design_price_bytes=self.adapter.design_price(snapshot.design),
+            drift_readings=len(self.monitor.readings),
+            drift_alarms=len(self.monitor.alarms),
+            priced=list(self.priced) if self.serve.record_queries else None,
+            resumed=resumed,
+            wall_seconds=wall,
+        )

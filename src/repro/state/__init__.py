@@ -18,8 +18,10 @@ uninterrupted run.
 from repro.state.capture import (
     costing_state,
     designer_state,
+    monitor_state,
     restore_costing,
     restore_designer,
+    restore_monitor,
     restore_sampler,
     sampler_state,
 )
@@ -46,8 +48,10 @@ __all__ = [
     "SimulatedCrash",
     "costing_state",
     "designer_state",
+    "monitor_state",
     "restore_costing",
     "restore_designer",
+    "restore_monitor",
     "restore_sampler",
     "run_key",
     "sampler_state",

@@ -144,3 +144,34 @@ class WorkloadMonitor:
             if alarm is not None:
                 alarms.append(alarm)
         return alarms
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot everything :meth:`observe` depends on or appends to.
+
+        Captures the sliding window, the reference anchor, both cadence
+        anchors, and the accumulated reading/alarm logs — a monitor
+        restored from this snapshot observes the rest of a stream
+        exactly as the uninterrupted monitor would have
+        (:mod:`repro.state`'s resume-equivalence contract).  The
+        configuration knobs are *not* captured; they come from the run
+        config on rebuild.
+        """
+        return {
+            "current": list(self._current),
+            "reference": self._reference,
+            "last_measure": self._last_measure,
+            "last_alarm": self._last_alarm,
+            "readings": list(self.readings),
+            "alarms": list(self.alarms),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore what :meth:`state` captured."""
+        self._current = deque(state["current"])
+        self._reference = state["reference"]
+        self._last_measure = state["last_measure"]
+        self._last_alarm = state["last_alarm"]
+        self.readings = list(state["readings"])
+        self.alarms = list(state["alarms"])

@@ -1,0 +1,376 @@
+"""Tests for the online tuning daemon: hot-swap atomicity and liveness.
+
+Three layers:
+
+* unit — :class:`ActiveDesign` epoch fencing under concurrent pins and
+  swaps, :class:`BackgroundJob` handles over every backend;
+* end-to-end — a drifting stream across several windows fires online
+  re-designs on serial, thread, and process backends; no query is
+  dropped and every query is priced against exactly one design epoch;
+* degradation — a crashing or slow background re-design leaves the old
+  design serving (``serve.degraded``), and the ``serve.*`` event family
+  lands in the JSONL trace.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+import repro
+import repro.serve.daemon as daemon_module
+from repro import QueueSource, RunConfig, ServeConfig, TraceSource
+from repro.obs import RunTracer, set_tracer
+from repro.parallel import SerialBackend, ThreadBackend
+from repro.parallel.jobs import BackgroundJob
+from repro.serve.handle import ActiveDesign
+
+# Tiny but non-trivial: 70 days / 14-day windows = 5 windows (4 interior
+# boundaries), drifting enough for the drift policy to fire repeatedly.
+TINY = dict(
+    workload="R1",
+    days=70,
+    window_days=14,
+    queries_per_day=4,
+    n_samples=2,
+    iterations=1,
+    legacy_tables=5,
+    backend=None,
+)
+
+
+def tiny_session(serve=None, **overrides):
+    run = RunConfig(**{**TINY, **overrides})
+    cfg = ServeConfig(swap_mode="boundary", min_window_queries=4)
+    if serve:
+        cfg = cfg.with_overrides(**serve)
+    return repro.serve_session(run, cfg)
+
+
+# -- ActiveDesign ------------------------------------------------------------------
+
+
+class TestActiveDesign:
+    def test_pin_returns_current_pair(self):
+        handle = ActiveDesign("d0")
+        with handle.pin() as (epoch, design):
+            assert (epoch, design) == (0, "d0")
+            assert handle.in_flight(0) == 1
+        assert handle.in_flight() == 0
+
+    def test_swap_bumps_epoch_and_returns_both_pairs(self):
+        handle = ActiveDesign("d0")
+        retired, installed = handle.swap("d1")
+        assert (retired.epoch, retired.design) == (0, "d0")
+        assert (installed.epoch, installed.design) == (1, "d1")
+        assert handle.epoch == 1
+        assert handle.swaps == 1
+
+    def test_swap_does_not_invalidate_pins(self):
+        handle = ActiveDesign("d0")
+        with handle.pin() as (epoch, design):
+            handle.swap("d1")
+            # The pinned pair is immutable: mid-costing swaps are invisible.
+            assert (epoch, design) == (0, "d0")
+            assert handle.in_flight(0) == 1
+            assert handle.epoch == 1
+        assert handle.in_flight(0) == 0
+
+    def test_wait_idle_blocks_until_the_epoch_drains(self):
+        handle = ActiveDesign("d0")
+        release = threading.Event()
+
+        def hold():
+            with handle.pin():
+                release.wait(5.0)
+
+        worker = threading.Thread(target=hold)
+        worker.start()
+        while handle.in_flight(0) == 0:
+            time.sleep(0.001)
+        handle.swap("d1")
+        assert not handle.wait_idle(0, timeout=0.05)  # still pinned
+        release.set()
+        assert handle.wait_idle(0, timeout=5.0)
+        worker.join()
+
+    def test_restore_refuses_with_pins_in_flight(self):
+        handle = ActiveDesign("d0")
+        with handle.pin():
+            with pytest.raises(RuntimeError, match="pinned"):
+                handle.restore("d9", 9)
+        handle.restore("d9", 9)
+        assert handle.snapshot() == (9, "d9")
+
+    def test_concurrent_pins_always_see_consistent_pairs(self):
+        """The atomicity hammer: swaps race pins; a pin must never
+        observe a torn (epoch, design) combination."""
+        designs = {epoch: f"design-{epoch}" for epoch in range(50)}
+        handle = ActiveDesign(designs[0])
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def pinner():
+            while not stop.is_set():
+                with handle.pin() as (epoch, design):
+                    if designs[epoch] != design:
+                        torn.append((epoch, design))
+
+        threads = [threading.Thread(target=pinner) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for epoch in range(1, 50):
+            handle.swap(designs[epoch])
+            time.sleep(0.001)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert torn == []
+        assert handle.epoch == 49
+        assert handle.in_flight() == 0
+
+
+# -- BackgroundJob ------------------------------------------------------------------
+
+
+def _double(task):
+    return task * 2
+
+
+def _boom(task):
+    raise RuntimeError(f"boom on {task}")
+
+
+class TestBackgroundJob:
+    def test_completed_and_failed_factories(self):
+        done = BackgroundJob.completed(42)
+        assert done.done() and done.result() == 42 and done.exception() is None
+        failed = BackgroundJob.failed(RuntimeError("x"))
+        assert failed.done()
+        with pytest.raises(RuntimeError):
+            failed.result()
+
+    def test_serial_backend_submit_runs_inline(self):
+        job = SerialBackend().submit(_double, 21)
+        assert job.done()
+        assert job.result() == 42
+
+    def test_serial_backend_submit_captures_errors(self):
+        job = SerialBackend().submit(_boom, "t")
+        assert job.done()
+        assert isinstance(job.exception(), RuntimeError)
+
+    def test_thread_backend_submit_runs_in_background(self):
+        with ThreadBackend(jobs=1) as backend:
+            job = backend.submit(_double, 10)
+            assert job.wait(5.0)
+            assert job.result() == 20
+            assert job.exception() is None
+
+    def test_thread_backend_submit_captures_errors(self):
+        with ThreadBackend(jobs=1) as backend:
+            job = backend.submit(_boom, "t")
+            assert job.wait(5.0)
+            with pytest.raises(RuntimeError, match="boom"):
+                job.result()
+
+    def test_cancel_of_a_done_job_is_a_noop(self):
+        job = BackgroundJob.completed(1)
+        assert not job.cancel()
+        assert job.result() == 1
+
+
+# -- end-to-end ---------------------------------------------------------------------
+
+
+def check_invariants(outcome):
+    """The serve guarantees every e2e test asserts."""
+    # Zero dropped queries: every ingested query was priced exactly once.
+    assert outcome.dropped == 0
+    assert [p.position for p in outcome.priced] == list(range(outcome.position))
+    # Per-query epoch consistency: epochs never run ahead of the swap
+    # count and never go backwards.
+    epochs = [p.epoch for p in outcome.priced]
+    assert all(a <= b for a, b in zip(epochs, epochs[1:]))
+    assert max(epochs) <= outcome.swaps
+    assert outcome.final_epoch == outcome.swaps
+
+
+class TestServeEndToEnd:
+    def test_online_redesigns_and_swaps(self):
+        outcome = tiny_session().serve()
+        assert outcome.position == 280
+        assert outcome.windows >= 3
+        assert outcome.triggers >= 1
+        assert outcome.redesigns_launched >= 1
+        assert outcome.redesigns_failed == 0
+        assert outcome.swaps >= 1
+        assert outcome.final_epoch >= 1
+        assert outcome.structure_count > 0
+        assert len(outcome.final_design_digest) == 16
+        check_invariants(outcome)
+        # Queries arriving before the first swap are priced on epoch 0,
+        # later ones on the swapped-in designs.
+        epochs = {p.epoch for p in outcome.priced}
+        assert 0 in epochs and len(epochs) >= 2
+
+    def test_queue_source_matches_trace_source(self):
+        traced = tiny_session().serve()
+        source = QueueSource()
+        session = tiny_session(serve=dict(source=source))
+        for query in session.context.trace("R1"):
+            source.put_nowait(query)
+        source.close()
+        queued = session.serve()
+        check_invariants(queued)
+        assert queued.position == traced.position
+        assert queued.swaps == traced.swaps
+        assert queued.final_design_digest == traced.final_design_digest
+        assert [(p.position, p.epoch, p.cost_ms) for p in queued.priced] == [
+            (p.position, p.epoch, p.cost_ms) for p in traced.priced
+        ]
+
+    def test_thread_backend_boundary_mode_is_deterministic(self):
+        serial = tiny_session().serve()
+        threaded = tiny_session(backend="thread", jobs=2).serve()
+        check_invariants(threaded)
+        assert threaded.final_design_digest == serial.final_design_digest
+        assert threaded.swaps == serial.swaps
+
+    def test_process_backend_end_to_end(self):
+        outcome = tiny_session(backend="process", jobs=2).serve()
+        check_invariants(outcome)
+        assert outcome.swaps >= 1
+        # Boundary mode: the background process lands on the same design
+        # as the serial run (the task tuple fully determines the result).
+        assert outcome.final_design_digest == tiny_session().serve().final_design_digest
+
+    def test_periodic_policy_fires_every_window(self):
+        outcome = tiny_session(serve=dict(policy="periodic", every=1)).serve()
+        check_invariants(outcome)
+        assert outcome.triggers == outcome.windows
+        assert outcome.swaps >= 1
+
+    def test_max_queries_stops_early(self):
+        outcome = tiny_session(serve=dict(max_queries=100)).serve()
+        assert outcome.position == 100
+        check_invariants(outcome)
+
+    def test_record_queries_off_drops_the_log(self):
+        outcome = tiny_session(serve=dict(record_queries=False)).serve()
+        assert outcome.priced is None
+        assert outcome.dropped == 0
+
+
+# -- degradation --------------------------------------------------------------------
+
+
+def _failing_redesign(task):
+    raise RuntimeError("designer crashed")
+
+
+def _slow_redesign(task):
+    time.sleep(1.0)
+    return None, 1.0
+
+
+class TestDegradation:
+    def test_crashed_redesign_keeps_the_old_design_serving(self, monkeypatch):
+        monkeypatch.setattr(daemon_module, "_redesign_task", _failing_redesign)
+        outcome = tiny_session().serve()
+        # Every trigger launched, every launch failed, nothing swapped —
+        # and ingestion never stalled.
+        assert outcome.redesigns_launched >= 1
+        assert outcome.redesigns_failed == outcome.redesigns_launched
+        assert outcome.swaps == 0
+        assert outcome.final_epoch == 0
+        assert outcome.dropped == 0
+        assert all(p.epoch == 0 for p in outcome.priced)
+        # The policy kept retrying at later boundaries.
+        assert outcome.redesigns_launched >= 2
+
+    def test_slow_redesign_times_out_and_degrades(self, monkeypatch):
+        monkeypatch.setattr(daemon_module, "_redesign_task", _slow_redesign)
+        # drain=False: whatever is still in flight at stream end is
+        # cancelled, not awaited — a too-slow re-design must never block
+        # shutdown (nor ever swap in).
+        outcome = tiny_session(
+            backend="thread",
+            jobs=1,
+            serve=dict(swap_mode="async", redesign_timeout=0.05, drain=False),
+        ).serve()
+        assert outcome.redesigns_failed >= 1
+        assert outcome.swaps == 0
+        assert outcome.dropped == 0
+        assert all(p.epoch == 0 for p in outcome.priced)
+
+
+# -- observability ------------------------------------------------------------------
+
+
+class TestServeEvents:
+    @pytest.fixture
+    def events(self):
+        buffer = io.StringIO()
+        previous = set_tracer(RunTracer(buffer, clock=lambda: 0.0))
+        try:
+            tiny_session().serve()
+        finally:
+            set_tracer(previous)
+        return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+    def test_serve_event_family_is_emitted(self, events):
+        kinds = {event["event"] for event in events}
+        assert {
+            "serve.start",
+            "serve.window",
+            "serve.trigger",
+            "serve.redesign",
+            "serve.swap",
+            "serve.stop",
+        } <= kinds
+
+    def test_start_and_stop_carry_run_identity(self, events):
+        start = next(e for e in events if e["event"] == "serve.start")
+        assert start["workload"] == "R1"
+        assert start["swap_mode"] == "boundary"
+        assert start["resumed"] is False
+        stop = next(e for e in events if e["event"] == "serve.stop")
+        assert stop["position"] == 280
+        assert stop["swaps"] >= 1
+        assert len(stop["digest"]) == 16
+
+    def test_swap_events_fence_epochs(self, events):
+        swaps = [e for e in events if e["event"] == "serve.swap"]
+        assert swaps
+        for swap in swaps:
+            assert swap["epoch"] == swap["retired_epoch"] + 1
+            assert swap["stale_queries"] >= 0
+            assert swap["structures"] > 0
+
+    def test_degraded_event_on_failure(self, monkeypatch):
+        monkeypatch.setattr(daemon_module, "_redesign_task", _failing_redesign)
+        buffer = io.StringIO()
+        previous = set_tracer(RunTracer(buffer, clock=lambda: 0.0))
+        try:
+            tiny_session().serve()
+        finally:
+            set_tracer(previous)
+        events = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        degraded = [e for e in events if e["event"] == "serve.degraded"]
+        assert degraded
+        assert "designer crashed" in degraded[0]["error"]
+        assert not any(e["event"] == "serve.swap" for e in events)
+
+    def test_serve_metrics_are_registered(self):
+        from repro.obs import get_metrics
+
+        get_metrics().reset()
+        outcome = tiny_session().serve()
+        snapshot = get_metrics().snapshot()
+        assert snapshot["serve.ingested"] == outcome.position
+        assert snapshot["serve.windows"] == outcome.windows
+        assert snapshot["serve.swaps"] == outcome.swaps
+        assert snapshot["serve.epoch"] == outcome.final_epoch
