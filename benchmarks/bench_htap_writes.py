@@ -1,0 +1,223 @@
+"""CliffGuard vs the nominal designer under write-heavy drift (HTAP).
+
+The write-aware cost models charge every physical structure maintenance
+proportional to the writes that touch it, so an over-designed hot table
+is now a modeled liability, not a free lunch.  This benchmark replays
+the mixed read/write workload families — ``HTAP`` (analytics plus an
+OLTP write stream), ``ECOMMERCE`` (flash-sale bursts + seasonal write
+cycles), and ``OLTP`` (write-majority) — through the Figure-7 designer
+comparison and records the robustness gap between CliffGuard and the
+drift-blind nominal designer (``ExistingDesigner``): the worst
+train→test window is where nominal designs built for last window's
+read mix pay for structures the next window's writes must maintain.
+
+Every configuration runs twice — serial and process backend — and the
+two window trajectories must be bit-identical (the PR-5 determinism
+contract extended to write costing); any divergence is a hard failure.
+
+Output (``BENCH_htap_writes.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_htap_writes.py           # full
+    PYTHONPATH=src python benchmarks/bench_htap_writes.py --smoke   # CI leg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    run_designer_comparison,
+)
+from repro.parallel import ProcessBackend, SerialBackend
+from repro.sql.ast import SelectStatement
+from repro.sql.parser import parse
+
+NOMINAL = "ExistingDesigner"
+ROBUST = "CliffGuard"
+
+#: (name, workload, scale).  ``skip_transitions=1`` keeps the cold-start
+#: window out of the comparison; the remaining transitions all carry
+#: drifted write mixes.
+FULL_CONFIGS = [
+    (
+        "htap-drift",
+        "HTAP",
+        ExperimentScale(
+            days=140,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=2,
+            legacy_tables=3,
+            max_transitions=3,
+            skip_transitions=1,
+        ),
+    ),
+    (
+        "ecommerce-flash-seasonal",
+        "ECOMMERCE",
+        ExperimentScale(
+            days=140,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=5,
+            legacy_tables=3,
+            max_transitions=3,
+            skip_transitions=1,
+        ),
+    ),
+    (
+        "oltp-write-majority",
+        "OLTP",
+        ExperimentScale(
+            days=112,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=7,
+            legacy_tables=3,
+            max_transitions=2,
+            skip_transitions=1,
+        ),
+    ),
+]
+
+SMOKE_CONFIGS = [
+    (
+        "smoke-htap",
+        "HTAP",
+        ExperimentScale(
+            days=84,
+            window_days=28,
+            queries_per_day=4,
+            n_samples=2,
+            iterations=1,
+            seed=2,
+            legacy_tables=2,
+            max_transitions=1,
+            skip_transitions=1,
+        ),
+    ),
+]
+
+
+def _write_share(context: ExperimentContext, workload: str) -> float:
+    trace = context.trace(workload)
+    writes = sum(1 for q in trace if not isinstance(parse(q.sql), SelectStatement))
+    return writes / len(trace)
+
+
+def _run_windows(run) -> list[dict]:
+    return [
+        {
+            "window_index": w.window_index,
+            "average_ms": w.average_ms,
+            "max_ms": w.max_ms,
+            "design_price_bytes": w.design_price_bytes,
+            "structure_count": w.structure_count,
+        }
+        for w in run.windows
+    ]
+
+
+def _comparison(workload: str, scale: ExperimentScale, backend) -> dict:
+    context = ExperimentContext(scale)
+    result = run_designer_comparison(
+        context, workload, which=[NOMINAL, ROBUST], backend=backend
+    )
+    return {name: _run_windows(result.run(name)) for name in (NOMINAL, ROBUST)}
+
+
+def _summary(windows: list[dict]) -> dict:
+    avgs = [w["average_ms"] for w in windows]
+    return {
+        "mean_average_ms": sum(avgs) / len(avgs),
+        "worst_window_ms": max(avgs),
+        "mean_price_bytes": sum(w["design_price_bytes"] for w in windows)
+        / len(windows),
+    }
+
+
+def run(configs, out_path: Path) -> dict:
+    results = []
+    for name, workload, scale in configs:
+        started = time.perf_counter()
+        serial = _comparison(workload, scale, SerialBackend())
+        with ProcessBackend(jobs=2) as pool:
+            process = _comparison(workload, scale, pool)
+        if serial != process:
+            raise SystemExit(f"{name}: serial and process backends diverged")
+        write_share = _write_share(ExperimentContext(scale), workload)
+        nominal, robust = _summary(serial[NOMINAL]), _summary(serial[ROBUST])
+        worst_gap_pct = (
+            (nominal["worst_window_ms"] - robust["worst_window_ms"])
+            / nominal["worst_window_ms"]
+            * 100.0
+        )
+        record = {
+            "name": name,
+            "workload": workload,
+            "write_share": write_share,
+            "transitions": len(serial[NOMINAL]),
+            "nominal": nominal,
+            "cliffguard": robust,
+            "worst_window_gap_pct": worst_gap_pct,
+            "windows": serial,
+            "backends_bit_identical": True,
+            "seconds": time.perf_counter() - started,
+        }
+        results.append(record)
+        print(
+            f"{name}: write_share {write_share:.2f}  "
+            f"nominal worst {nominal['worst_window_ms']:.2f}ms  "
+            f"cliffguard worst {robust['worst_window_ms']:.2f}ms  "
+            f"gap {worst_gap_pct:+.1f}%  ({record['seconds']:.1f}s)"
+        )
+    payload = {"benchmark": "htap_writes", "configs": results}
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes: exercises determinism and the JSON format only",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_htap_writes.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    out = args.out
+    if args.smoke and out.name == "BENCH_htap_writes.json":
+        # The smoke leg must not clobber the checked-in full-run record.
+        out = out.with_name("BENCH_htap_writes.smoke.json")
+    payload = run(configs, out)
+    if not args.smoke:
+        best = max(c["worst_window_gap_pct"] for c in payload["configs"])
+        if best <= 0:
+            print(
+                "WARNING: no configuration shows a CliffGuard robustness "
+                "gap over the nominal designer"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

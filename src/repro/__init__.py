@@ -99,6 +99,9 @@ from repro.workload import (
     WorkloadQuery,
     build_star_schema,
     delta_euclidean,
+    ecommerce_profile,
+    htap_profile,
+    oltp_profile,
     r1_profile,
     s1_profile,
     s2_profile,
@@ -184,6 +187,9 @@ __all__ = [
     "gamma_from_history",
     "get_metrics",
     "move_workload",
+    "ecommerce_profile",
+    "htap_profile",
+    "oltp_profile",
     "r1_profile",
     "replay",
     "s1_profile",

@@ -64,7 +64,7 @@ from repro.serve.sources import QuerySource, TraceSource, resolve_source
 from repro.state import RunCheckpointer
 from repro.workload.workload import Workload
 
-WORKLOADS = ("R1", "S1", "S2")
+WORKLOADS = ("R1", "S1", "S2", "OLTP", "ECOMMERCE", "HTAP")
 ENGINES = ("columnar", "rowstore")
 BACKENDS = ("auto", "serial", "thread", "process")
 

@@ -41,7 +41,7 @@ from repro.harness.reporting import (
 )
 from repro.obs import get_metrics, trace_to
 
-WORKLOADS = ("R1", "S1", "S2")
+WORKLOADS = ("R1", "S1", "S2", "OLTP", "ECOMMERCE", "HTAP")
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:

@@ -241,6 +241,75 @@ def _related_mask(
     return related
 
 
+def _write_touch_mask(
+    struct_table: np.ndarray,
+    struct_write_mask: np.ndarray,
+    anchor_tid: np.ndarray,
+    is_write: np.ndarray,
+    always_touch: np.ndarray,
+    written_mask: np.ndarray,
+) -> np.ndarray:
+    """(S, Q) bool: the write in query ``q`` forces maintenance of ``s``.
+
+    Mirrors the scalar ``write_touches``: the structure lives on the
+    written table, and either the statement rewrites whole rows
+    (insert/delete, ``always_touch``) or the update's written-column set
+    intersects the structure's column set (bitmask AND + popcount).
+    """
+    same = struct_table[:, None] == anchor_tid[None, :]
+    if struct_write_mask.shape[0] == 0 or written_mask.shape[0] == 0:
+        return np.zeros(
+            (struct_write_mask.shape[0], written_mask.shape[0]), dtype=bool
+        )
+    overlap = struct_write_mask[:, None, :] & written_mask[None, :, :]
+    has_common = np.bitwise_count(overlap).sum(axis=2, dtype=np.int64) > 0
+    return same & is_write[None, :] & (always_touch[None, :] | has_common)
+
+
+def _write_fold_order(keys) -> np.ndarray:
+    """(S,) rank of each structure in the scalar maintenance fold.
+
+    The scalar ``_write_cost`` iterates a table's structures in the
+    design container's canonical *sorted* order (``for_table`` /
+    ``indices_for`` + ``views_for``), not bind order.  Float addition is
+    not associative, so the kernel must add the same maintenance terms
+    in the same sequence to stay bit-identical.  ``keys`` is one sort
+    key per structure whose per-table restriction reproduces the
+    container's ordering; cross-table interleaving is harmless because
+    non-touching members contribute an exact ``+0.0``.
+    """
+    order = sorted(range(len(keys)), key=keys.__getitem__)
+    rank = np.empty(len(keys), dtype=np.intp)
+    rank[order] = np.arange(len(keys), dtype=np.intp)
+    return rank
+
+
+def _compile_write_side(profiles, bits: "_ColumnBits", model):
+    """Query-side write arrays shared by all three substrate compiles.
+
+    ``base_write`` is folded scalarly through the model's own
+    ``base_write_cost`` so the stored float is the exact one the scalar
+    reference produces.
+    """
+    count = len(profiles)
+    is_write = np.zeros(count, dtype=bool)
+    is_insert = np.zeros(count, dtype=bool)
+    always_touch = np.zeros(count, dtype=bool)
+    affected = np.zeros(count, dtype=np.float64)
+    base_write = np.zeros(count, dtype=np.float64)
+    written_mask = np.zeros((count, bits.words), dtype=np.uint64)
+    for q, profile in enumerate(profiles):
+        if not profile.is_write:
+            continue
+        is_write[q] = True
+        is_insert[q] = profile.statement_kind == "insert"
+        always_touch[q] = profile.statement_kind != "update"
+        affected[q] = profile.affected_rows
+        base_write[q] = model.base_write_cost(profile)
+        written_mask[q] = bits.mask(profile.anchor.table, profile.written_columns)
+    return is_write, is_insert, always_touch, affected, base_write, written_mask
+
+
 def _delta_design_costs(batch, members, changed_row: int, prev_costs) -> np.ndarray:
     """Shared body of the per-substrate ``delta_design_costs`` methods.
 
@@ -299,6 +368,14 @@ class ColumnarBatch:
     # (S, Q) pair booleans
     sorted_groups: np.ndarray
     order_free: np.ndarray
+    # write-cost path (all zeros / False for pure-read workloads)
+    is_write: np.ndarray  # (Q,) bool
+    is_insert: np.ndarray  # (Q,) bool
+    affected: np.ndarray  # (Q,) estimated affected rows
+    base_write: np.ndarray  # (Q,) folded base write cost
+    write_weight: np.ndarray  # (S,) per-affected-row maintenance weight
+    write_touch: np.ndarray  # (S, Q) bool: write q maintains structure s
+    write_rank: np.ndarray  # (S,) scalar maintenance fold order (see _write_fold_order)
 
     @property
     def structure_count(self) -> int:
@@ -307,6 +384,10 @@ class ColumnarBatch:
     @property
     def query_count(self) -> int:
         return len(self.sqls)
+
+    @property
+    def any_write(self) -> bool:
+        return bool(self.is_write.any())
 
     def take(self, q_indices) -> "ColumnarBatch":
         """A batch restricted to a subset of queries (for chunked workers)."""
@@ -325,7 +406,31 @@ class ColumnarBatch:
             n_dims=self.n_dims[idx],
             sorted_groups=self.sorted_groups[:, idx],
             order_free=self.order_free[:, idx],
+            is_write=self.is_write[idx],
+            is_insert=self.is_insert[idx],
+            affected=self.affected[idx],
+            base_write=self.base_write[idx],
+            write_touch=self.write_touch[:, idx],
         )
+
+    def _write_costs(self, locate: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """(Q,) write-path costs given the per-query locate best.
+
+        Replicates the scalar ``_write_cost`` fold exactly: inserts skip
+        the locate, then maintenance terms accumulate in member order
+        (masked adds of ``+0.0`` are bit-preserving for non-touching
+        members, so the interleaved fold matches the scalar per-table
+        restriction of the design order).
+        """
+        cost = (
+            _col.QUERY_OVERHEAD_MS + np.where(self.is_insert, 0.0, locate)
+        ) + self.base_write
+        fold = members[np.argsort(self.write_rank[members], kind="stable")]
+        for m in fold.tolist():
+            cost = cost + np.where(
+                self.write_touch[m], self.affected * self.write_weight[m], 0.0
+            )
+        return cost
 
     # -- matrices ----------------------------------------------------------------
 
@@ -372,7 +477,13 @@ class ColumnarBatch:
         """(Q,) empty-design costs."""
         dim_term = self.acc_super_scan + self.acc_build_add
         total = _dim_sum_vector(self.dim_pad, dim_term)
-        return (_col.QUERY_OVERHEAD_MS + self.super_anchor) + total
+        read = (_col.QUERY_OVERHEAD_MS + self.super_anchor) + total
+        if not self.any_write:
+            return read
+        wcost = self._write_costs(
+            self.super_anchor, np.zeros(0, dtype=np.intp)
+        )
+        return np.where(self.is_write, wcost, read)
 
     def design_costs(self, members=None) -> np.ndarray:
         """(Q,) costs under the design made of ``members`` (structure row
@@ -392,7 +503,10 @@ class ColumnarBatch:
             best = self.super_anchor
             dim_best = self.acc_super_scan
         total = _dim_sum_vector(self.dim_pad, dim_best + self.acc_build_add)
-        return (_col.QUERY_OVERHEAD_MS + best) + total
+        read = (_col.QUERY_OVERHEAD_MS + best) + total
+        if not self.any_write:
+            return read
+        return np.where(self.is_write, self._write_costs(best, members), read)
 
     def affected_queries(self, row: int) -> np.ndarray:
         """(Q,) bool: queries whose cost can change when structure ``row``
@@ -427,7 +541,10 @@ class ColumnarBatch:
         related = _related_mask(
             self.struct_table, self.acc_table[self.anchor_acc], self.acc_table, self.dim_pad
         )
-        unservable = same_anchor & ~anchor_valid
+        # A write is never *served* by a structure, but a same-table
+        # structure still changes its cost (maintenance + locate), so
+        # write cells are priced rather than marked unservable.
+        unservable = same_anchor & ~anchor_valid & ~self.is_write[None, :]
         return related & ~unservable, unservable
 
     def candidate_costs(self) -> np.ndarray:
@@ -439,7 +556,18 @@ class ColumnarBatch:
             + self.acc_build_add[None, :]
         )
         total = _dim_sum_matrix(self.dim_pad, dim_term)
-        return (_col.QUERY_OVERHEAD_MS + best) + total
+        read = (_col.QUERY_OVERHEAD_MS + best) + total
+        if not self.any_write:
+            return read
+        wcost = (
+            _col.QUERY_OVERHEAD_MS + np.where(self.is_insert[None, :], 0.0, best)
+        ) + self.base_write[None, :]
+        wcost = wcost + np.where(
+            self.write_touch,
+            self.affected[None, :] * self.write_weight[:, None],
+            0.0,
+        )
+        return np.where(self.is_write[None, :], wcost, read)
 
 
 @dataclass
@@ -470,6 +598,13 @@ class ColumnarArena:
     agg_hash_add: np.ndarray
     sort_add: np.ndarray
     n_dims: np.ndarray
+    # write-cost path (query-side; the touch matrix is bound per design)
+    is_write: np.ndarray
+    is_insert: np.ndarray
+    always_touch: np.ndarray
+    affected: np.ndarray
+    base_write: np.ndarray
+    written_mask: np.ndarray
     #: (anchor table id, group-by set / order-by tuple) -> query rows.
     group_queries: dict
     order_queries: dict
@@ -539,6 +674,9 @@ class ColumnarKernel:
         agg_hash_add = np.zeros(count, dtype=np.float64)
         sort_add = np.zeros(count, dtype=np.float64)
         n_dims = np.zeros(count, dtype=np.float64)
+        is_write, is_insert, always_touch, affected, base_write, written_mask = (
+            _compile_write_side(profiles, bits, model)
+        )
         for q, profile in enumerate(profiles):
             access = profile.anchor
             super_anchor[q] = model.projection_cost(
@@ -592,6 +730,12 @@ class ColumnarKernel:
             agg_hash_add=agg_hash_add,
             sort_add=sort_add,
             n_dims=n_dims,
+            is_write=is_write,
+            is_insert=is_insert,
+            always_touch=always_touch,
+            affected=affected,
+            base_write=base_write,
+            written_mask=written_mask,
             group_queries=group_queries,
             order_queries=order_queries,
         )
@@ -706,6 +850,22 @@ class ColumnarKernel:
             if hits.any():
                 order_free[np.ix_(rows_s[hits], qs)] = True
 
+        write_weight = np.array(
+            [self.model.maintenance_weight(s) for s in structures],
+            dtype=np.float64,
+        ).reshape(len(structures))
+        write_touch = _write_touch_mask(
+            struct_table,
+            struct_mask,
+            acc_table[arena.anchor_acc],
+            arena.is_write,
+            arena.always_touch,
+            arena.written_mask,
+        )
+        write_rank = _write_fold_order(
+            [(s.table, s.columns, s.sort_key) for s in structures]
+        )
+
         return ColumnarBatch(
             sqls=list(arena.sqls),
             words=bits.words,
@@ -729,6 +889,13 @@ class ColumnarKernel:
             n_dims=arena.n_dims,
             sorted_groups=sorted_groups,
             order_free=order_free,
+            is_write=arena.is_write,
+            is_insert=arena.is_insert,
+            affected=arena.affected,
+            base_write=arena.base_write,
+            write_weight=write_weight,
+            write_touch=write_touch,
+            write_rank=write_rank,
         )
 
 
@@ -764,6 +931,14 @@ class RowstoreBatch:
     post: np.ndarray  # aggregation/sort/probe work after index fetch
     # (S, Q): view rollup costs (inf for index rows / unanswerable pairs)
     view_cost: np.ndarray
+    # write-cost path (all zeros / False for pure-read workloads)
+    is_write: np.ndarray  # (Q,) bool
+    is_insert: np.ndarray  # (Q,) bool
+    affected: np.ndarray  # (Q,) estimated affected rows
+    base_write: np.ndarray  # (Q,) folded base write cost
+    write_weight: np.ndarray  # (S,) per-affected-row maintenance weight
+    write_touch: np.ndarray  # (S, Q) bool: write q maintains structure s
+    write_rank: np.ndarray  # (S,) scalar maintenance fold order (see _write_fold_order)
 
     @property
     def structure_count(self) -> int:
@@ -772,6 +947,10 @@ class RowstoreBatch:
     @property
     def query_count(self) -> int:
         return len(self.sqls)
+
+    @property
+    def any_write(self) -> bool:
+        return bool(self.is_write.any())
 
     def take(self, q_indices) -> "RowstoreBatch":
         idx = np.asarray(q_indices, dtype=np.intp)
@@ -783,7 +962,29 @@ class RowstoreBatch:
             base_path=self.base_path[idx],
             post=self.post[idx],
             view_cost=self.view_cost[:, idx],
+            is_write=self.is_write[idx],
+            is_insert=self.is_insert[idx],
+            affected=self.affected[idx],
+            base_write=self.base_write[idx],
+            write_touch=self.write_touch[:, idx],
         )
+
+    def _write_costs(self, locate: np.ndarray, members: np.ndarray) -> np.ndarray:
+        """(Q,) write-path costs given the per-query locate best.
+
+        Same contract as :meth:`ColumnarBatch._write_costs`: inserts skip
+        the locate, maintenance accumulates in member order with masked
+        ``+0.0`` adds (bit-preserving), matching the scalar fold.
+        """
+        cost = (
+            _row.QUERY_OVERHEAD_MS + np.where(self.is_insert, 0.0, locate)
+        ) + self.base_write
+        fold = members[np.argsort(self.write_rank[members], kind="stable")]
+        for m in fold.tolist():
+            cost = cost + np.where(
+                self.write_touch[m], self.affected * self.write_weight[m], 0.0
+            )
+        return cost
 
     def _index_access_matrix(self, rows_s=None) -> np.ndarray:
         """(S, A) cost of driving each access through each index.
@@ -814,7 +1015,11 @@ class RowstoreBatch:
 
     def base_costs(self) -> np.ndarray:
         total = _dim_sum_vector(self.dim_pad, self.acc_base_scan + self.acc_build_add)
-        return (_row.QUERY_OVERHEAD_MS + self.base_path) + total
+        read = (_row.QUERY_OVERHEAD_MS + self.base_path) + total
+        if not self.any_write:
+            return read
+        wcost = self._write_costs(self.base_path, np.zeros(0, dtype=np.intp))
+        return np.where(self.is_write, wcost, read)
 
     def design_costs(self, members=None) -> np.ndarray:
         members = (
@@ -831,7 +1036,10 @@ class RowstoreBatch:
             best = self.base_path
             dim_best = self.acc_base_scan
         total = _dim_sum_vector(self.dim_pad, dim_best + self.acc_build_add)
-        return (_row.QUERY_OVERHEAD_MS + best) + total
+        read = (_row.QUERY_OVERHEAD_MS + best) + total
+        if not self.any_write:
+            return read
+        return np.where(self.is_write, self._write_costs(best, members), read)
 
     def affected_queries(self, row: int) -> np.ndarray:
         """(Q,) bool: queries whose cost can change when structure ``row``
@@ -855,7 +1063,10 @@ class RowstoreBatch:
         related = _related_mask(
             self.struct_table, anchor_tid, self.acc_table, self.dim_pad
         )
-        unservable = same_anchor & ~np.isfinite(anchor)
+        # A write is never *served* by a structure, but a same-table
+        # structure still changes its cost (maintenance + locate), so
+        # write cells are priced rather than marked unservable.
+        unservable = same_anchor & ~np.isfinite(anchor) & ~self.is_write[None, :]
         return related & ~unservable, unservable
 
     def candidate_costs(self) -> np.ndarray:
@@ -865,7 +1076,18 @@ class RowstoreBatch:
             + self.acc_build_add[None, :]
         )
         total = _dim_sum_matrix(self.dim_pad, dim_term)
-        return (_row.QUERY_OVERHEAD_MS + best) + total
+        read = (_row.QUERY_OVERHEAD_MS + best) + total
+        if not self.any_write:
+            return read
+        wcost = (
+            _row.QUERY_OVERHEAD_MS + np.where(self.is_insert[None, :], 0.0, best)
+        ) + self.base_write[None, :]
+        wcost = wcost + np.where(
+            self.write_touch,
+            self.affected[None, :] * self.write_weight[:, None],
+            0.0,
+        )
+        return np.where(self.is_write[None, :], wcost, read)
 
 
 @dataclass
@@ -893,6 +1115,13 @@ class RowstoreArena:
     dim_pad: np.ndarray
     base_path: np.ndarray
     post: np.ndarray
+    # write-cost path (query-side; see _compile_write_side)
+    is_write: np.ndarray
+    is_insert: np.ndarray
+    always_touch: np.ndarray
+    affected: np.ndarray
+    base_write: np.ndarray
+    written_mask: np.ndarray
 
     @property
     def query_count(self) -> int:
@@ -955,6 +1184,15 @@ class RowstoreKernel:
             post[q] = model._post_cost(profile)
             base_path[q] = model._scan_cost(profile.anchor) + model._post_cost(profile)
 
+        (
+            is_write,
+            is_insert,
+            always_touch,
+            affected,
+            base_write,
+            written_mask,
+        ) = _compile_write_side(profiles, bits, model)
+
         return RowstoreArena(
             sqls=[p.sql for p in profiles],
             bits=bits,
@@ -972,6 +1210,12 @@ class RowstoreKernel:
             dim_pad=table.dim_pad,
             base_path=base_path,
             post=post,
+            is_write=is_write,
+            is_insert=is_insert,
+            always_touch=always_touch,
+            affected=affected,
+            base_write=base_write,
+            written_mask=written_mask,
         )
 
     def bind(self, arena: RowstoreArena, structures) -> RowstoreBatch:
@@ -1042,6 +1286,38 @@ class RowstoreKernel:
                 if cost is not None:
                     view_cost[s, q] = cost
 
+        # Write-side: a view is "touched" through its groupings + measures,
+        # an index through its key columns (the scalar write_touches rule).
+        struct_write_mask = index_mask.copy()
+        for s, structure in enumerate(structures):
+            if is_view[s]:
+                struct_write_mask[s] = bits.mask(
+                    structure.table,
+                    tuple(structure.group_columns) + tuple(structure.measure_columns),
+                )
+        write_weight = np.array(
+            [model.maintenance_weight(s) for s in structures],
+            dtype=np.float64,
+        ).reshape(len(structures))
+        write_touch = _write_touch_mask(
+            struct_table,
+            struct_write_mask,
+            acc_table[arena.anchor_acc],
+            arena.is_write,
+            arena.always_touch,
+            arena.written_mask,
+        )
+        # Scalar fold order: all of a table's indexes (by columns), then
+        # its views (by groupings + measures) — see ``_write_cost``.
+        write_rank = _write_fold_order(
+            [
+                (s.table, 1, tuple(s.group_columns), tuple(s.measure_columns))
+                if is_view[i]
+                else (s.table, 0, tuple(s.columns), ())
+                for i, s in enumerate(structures)
+            ]
+        )
+
         return RowstoreBatch(
             sqls=list(arena.sqls),
             words=bits.words,
@@ -1064,6 +1340,13 @@ class RowstoreKernel:
             base_path=arena.base_path,
             post=arena.post,
             view_cost=view_cost,
+            is_write=arena.is_write,
+            is_insert=arena.is_insert,
+            affected=arena.affected,
+            base_write=arena.base_write,
+            write_weight=write_weight,
+            write_touch=write_touch,
+            write_rank=write_rank,
         )
 
 
@@ -1089,6 +1372,14 @@ class SamplesBatch:
     agg_flag: np.ndarray  # group_by or has_aggregates
     # (S, Q)
     valid: np.ndarray  # the full `answers` predicate
+    # write-cost path (all zeros / False for pure-read workloads)
+    is_write: np.ndarray  # (Q,) bool
+    is_insert: np.ndarray  # (Q,) bool
+    affected: np.ndarray  # (Q,) estimated affected rows
+    base_write: np.ndarray  # (Q,) folded base write cost
+    write_weight: np.ndarray  # (S,) per-affected-row maintenance weight
+    write_touch: np.ndarray  # (S, Q) bool: write q maintains structure s
+    write_rank: np.ndarray  # (S,) scalar maintenance fold order (see _write_fold_order)
 
     @property
     def structure_count(self) -> int:
@@ -1097,6 +1388,10 @@ class SamplesBatch:
     @property
     def query_count(self) -> int:
         return len(self.sqls)
+
+    @property
+    def any_write(self) -> bool:
+        return bool(self.is_write.any())
 
     def take(self, q_indices) -> "SamplesBatch":
         idx = np.asarray(q_indices, dtype=np.intp)
@@ -1111,7 +1406,27 @@ class SamplesBatch:
             total_sel=self.total_sel[idx],
             agg_flag=self.agg_flag[idx],
             valid=self.valid[:, idx],
+            is_write=self.is_write[idx],
+            is_insert=self.is_insert[idx],
+            affected=self.affected[idx],
+            base_write=self.base_write[idx],
+            write_touch=self.write_touch[:, idx],
         )
+
+    def _write_costs(self, members: np.ndarray) -> np.ndarray:
+        """(Q,) write-path costs.  Samples never answer a write's locate
+        scan, so the locate term is always the exact full-table cost (the
+        scalar ``_write_cost`` does the same); maintenance accumulates in
+        member order with bit-preserving masked adds."""
+        cost = (
+            _smp.QUERY_OVERHEAD_MS + np.where(self.is_insert, 0.0, self.exact)
+        ) + self.base_write
+        fold = members[np.argsort(self.write_rank[members], kind="stable")]
+        for m in fold.tolist():
+            cost = cost + np.where(
+                self.write_touch[m], self.affected * self.write_weight[m], 0.0
+            )
+        return cost
 
     def _sample_matrix(self, rows_s=None) -> np.ndarray:
         """(S, Q) sample scan cost, inf where the sample cannot answer.
@@ -1130,7 +1445,11 @@ class SamplesBatch:
         return np.where(self.valid[sl], cost, np.inf)
 
     def base_costs(self) -> np.ndarray:
-        return _smp.QUERY_OVERHEAD_MS + self.exact
+        read = _smp.QUERY_OVERHEAD_MS + self.exact
+        if not self.any_write:
+            return read
+        wcost = self._write_costs(np.zeros(0, dtype=np.intp))
+        return np.where(self.is_write, wcost, read)
 
     def design_costs(self, members=None) -> np.ndarray:
         members = (
@@ -1142,7 +1461,10 @@ class SamplesBatch:
             best = np.minimum(self.exact, self._sample_matrix(members).min(axis=0))
         else:
             best = self.exact
-        return _smp.QUERY_OVERHEAD_MS + best
+        read = _smp.QUERY_OVERHEAD_MS + best
+        if not self.any_write:
+            return read
+        return np.where(self.is_write, self._write_costs(members), read)
 
     def affected_queries(self, row: int) -> np.ndarray:
         """(Q,) bool: queries structure ``row`` can touch.  A sample only
@@ -1157,12 +1479,27 @@ class SamplesBatch:
     def candidate_frame(self) -> tuple[np.ndarray, np.ndarray]:
         anchor_tid = self.acc_table[self.anchor_acc]
         same_anchor = self.struct_table[:, None] == anchor_tid[None, :]
-        return same_anchor & self.valid, same_anchor & ~self.valid
+        # Write cells are priced (maintenance), never marked unservable.
+        price = same_anchor & (self.valid | self.is_write[None, :])
+        unservable = same_anchor & ~self.valid & ~self.is_write[None, :]
+        return price, unservable
 
     def candidate_costs(self) -> np.ndarray:
-        return _smp.QUERY_OVERHEAD_MS + np.minimum(
+        read = _smp.QUERY_OVERHEAD_MS + np.minimum(
             self.exact[None, :], self._sample_matrix()
         )
+        if not self.any_write:
+            return read
+        wcost = (
+            _smp.QUERY_OVERHEAD_MS
+            + np.where(self.is_insert[None, :], 0.0, self.exact[None, :])
+        ) + self.base_write[None, :]
+        wcost = wcost + np.where(
+            self.write_touch,
+            self.affected[None, :] * self.write_weight[:, None],
+            0.0,
+        )
+        return np.where(self.is_write[None, :], wcost, read)
 
 
 @dataclass
@@ -1181,6 +1518,13 @@ class SamplesArena:
     agg_flag: np.ndarray
     answerable: np.ndarray
     depends_mask: np.ndarray
+    # write-cost path (query-side; see _compile_write_side)
+    is_write: np.ndarray
+    is_insert: np.ndarray
+    always_touch: np.ndarray
+    affected: np.ndarray
+    base_write: np.ndarray
+    written_mask: np.ndarray
 
     @property
     def query_count(self) -> int:
@@ -1238,6 +1582,15 @@ class SamplesKernel:
                 access.table, access.predicate_columns | set(profile.group_by)
             )
 
+        (
+            is_write,
+            is_insert,
+            always_touch,
+            affected,
+            base_write,
+            written_mask,
+        ) = _compile_write_side(profiles, bits, model)
+
         return SamplesArena(
             sqls=[p.sql for p in profiles],
             bits=bits,
@@ -1251,6 +1604,12 @@ class SamplesKernel:
             agg_flag=agg_flag,
             answerable=answerable,
             depends_mask=depends_mask,
+            is_write=is_write,
+            is_insert=is_insert,
+            always_touch=always_touch,
+            affected=affected,
+            base_write=base_write,
+            written_mask=written_mask,
         )
 
     def bind(self, arena: SamplesArena, structures) -> SamplesBatch:
@@ -1281,6 +1640,23 @@ class SamplesKernel:
             & _covered(arena.depends_mask, strata_mask)
         )
 
+        # Write-side: a sample is "touched" through its stratum columns.
+        write_weight = np.array(
+            [model.maintenance_weight(s) for s in structures],
+            dtype=np.float64,
+        ).reshape(len(structures))
+        write_touch = _write_touch_mask(
+            struct_table,
+            strata_mask,
+            anchor_tid,
+            arena.is_write,
+            arena.always_touch,
+            arena.written_mask,
+        )
+        write_rank = _write_fold_order(
+            [(s.table, s.strata_columns, s.fraction) for s in structures]
+        )
+
         return SamplesBatch(
             sqls=list(arena.sqls),
             words=bits.words,
@@ -1295,6 +1671,13 @@ class SamplesKernel:
             total_sel=arena.total_sel,
             agg_flag=arena.agg_flag,
             valid=valid,
+            is_write=arena.is_write,
+            is_insert=arena.is_insert,
+            affected=arena.affected,
+            base_write=arena.base_write,
+            write_weight=write_weight,
+            write_touch=write_touch,
+            write_rank=write_rank,
         )
 
 

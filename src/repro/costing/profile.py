@@ -16,9 +16,13 @@ from repro.sql.ast import (
     BetweenPredicate,
     ColumnRef,
     ComparisonPredicate,
+    DeleteStatement,
     InPredicate,
+    InsertStatement,
     PredicateType,
     SelectStatement,
+    Statement,
+    UpdateStatement,
 )
 from repro.sql.parser import parse
 
@@ -110,6 +114,23 @@ class QueryProfile:
     select_columns: tuple[str, ...]
     limit: int | None
     group_cardinality: int
+    #: ``"select"`` for reads; ``"insert"``/``"update"``/``"delete"`` for
+    #: writes.  Write profiles carry no dimensions, groupings, or
+    #: aggregates — only the anchor access (used to locate affected rows)
+    #: plus the write annotations below.
+    statement_kind: str = "select"
+    #: Bare anchor-column names the statement writes (INSERT column list,
+    #: UPDATE SET targets; empty for DELETE — the whole row goes away).
+    written_columns: tuple[str, ...] = ()
+    #: Bytes modified per affected row (written-column widths; full row
+    #: width for DELETE).
+    written_bytes: int = 0
+    #: Estimated number of rows the statement touches.
+    affected_rows: float = 0.0
+
+    @property
+    def is_write(self) -> bool:
+        return self.statement_kind != "select"
 
     @property
     def has_aggregates(self) -> bool:
@@ -137,7 +158,9 @@ class QueryProfiler:
         self._profiles[sql] = profile
         return profile
 
-    def _build(self, sql: str, stmt: SelectStatement) -> QueryProfile:
+    def _build(self, sql: str, stmt: Statement) -> QueryProfile:
+        if isinstance(stmt, (InsertStatement, UpdateStatement, DeleteStatement)):
+            return self._build_write(sql, stmt)
         anchor_name = stmt.table
         if anchor_name not in self.schema.tables:
             raise SchemaError(f"query references unknown table {anchor_name!r}")
@@ -218,6 +241,79 @@ class QueryProfiler:
             select_columns=tuple(select_columns),
             limit=stmt.limit,
             group_cardinality=group_cardinality,
+        )
+
+    def _build_write(
+        self,
+        sql: str,
+        stmt: InsertStatement | UpdateStatement | DeleteStatement,
+    ) -> QueryProfile:
+        """Annotate a DML statement.
+
+        The anchor access describes the *locate* work — the columns and
+        predicates needed to find the affected rows — while the write
+        annotations (``written_columns``/``written_bytes``/
+        ``affected_rows``) describe the modification the cost models
+        charge maintenance for.
+        """
+        anchor_name = stmt.table
+        if anchor_name not in self.schema.tables:
+            raise SchemaError(f"statement references unknown table {anchor_name!r}")
+        table = self.schema.table(anchor_name)
+
+        written: list[str] = []
+        if isinstance(stmt, InsertStatement):
+            refs = list(stmt.columns)
+        elif isinstance(stmt, UpdateStatement):
+            refs = [a.column for a in stmt.assignments]
+        else:
+            refs = []
+        for ref in refs:
+            resolved = resolve_column(self.schema, ref, anchor_name)
+            if resolved is not None and resolved[0] == anchor_name:
+                written.append(resolved[1])
+
+        needed: set[str] = set(written)
+        preds: list[PredicateType] = []
+        if isinstance(stmt, (UpdateStatement, DeleteStatement)):
+            for pred in stmt.where:
+                resolved = resolve_column(self.schema, pred.column, anchor_name)
+                if resolved is not None and resolved[0] == anchor_name:
+                    needed.add(resolved[1])
+                    preds.append(pred)
+
+        anchor = self._build_access(anchor_name, needed, preds)
+        if isinstance(stmt, InsertStatement):
+            kind = "insert"
+            affected = float(len(stmt.rows))
+            written_bytes = sum(
+                table.column(c).type.byte_width for c in written
+            )
+        elif isinstance(stmt, UpdateStatement):
+            kind = "update"
+            affected = max(anchor.row_count * anchor.total_selectivity, 1.0)
+            written_bytes = sum(
+                table.column(c).type.byte_width for c in written
+            )
+        else:
+            kind = "delete"
+            affected = max(anchor.row_count * anchor.total_selectivity, 1.0)
+            written_bytes = anchor.row_bytes
+
+        return QueryProfile(
+            sql=sql,
+            anchor=anchor,
+            dimensions=(),
+            group_by=(),
+            order_by=(),
+            aggregates=(),
+            select_columns=(),
+            limit=None,
+            group_cardinality=1,
+            statement_kind=kind,
+            written_columns=tuple(written),
+            written_bytes=max(written_bytes, 1),
+            affected_rows=affected,
         )
 
     def _build_access(

@@ -243,6 +243,10 @@ class CostServiceStats:
     #: raw evaluations — the kernel is an implementation of the model,
     #: not a cache level).
     kernel_pairs_priced: int = 0
+    #: (design, query) pairs priced whose query is a write statement
+    #: (INSERT/UPDATE/DELETE) — a subset of ``raw_model_calls`` covering
+    #: both the scalar and kernel paths.
+    write_pairs_priced: int = 0
 
     @property
     def query_misses(self) -> int:
@@ -276,6 +280,7 @@ class CostServiceStats:
             evictions=self.evictions,
             kernel_batch_calls=self.kernel_batch_calls,
             kernel_pairs_priced=self.kernel_pairs_priced,
+            write_pairs_priced=self.write_pairs_priced,
         )
 
     def since(self, earlier: "CostServiceStats") -> "CostServiceStats":
@@ -291,6 +296,7 @@ class CostServiceStats:
             evictions=self.evictions - earlier.evictions,
             kernel_batch_calls=self.kernel_batch_calls - earlier.kernel_batch_calls,
             kernel_pairs_priced=self.kernel_pairs_priced - earlier.kernel_pairs_priced,
+            write_pairs_priced=self.write_pairs_priced - earlier.write_pairs_priced,
         )
 
     def rows(self) -> list[list[object]]:
@@ -308,6 +314,7 @@ class CostServiceStats:
             ["cache evictions", self.evictions],
             ["kernel batch dispatches", self.kernel_batch_calls],
             ["kernel-priced pairs", self.kernel_pairs_priced],
+            ["write pairs priced", self.write_pairs_priced],
         ]
 
 
@@ -631,6 +638,10 @@ class CostEvaluationService:
         with _Timer(self.stats):
             cost = self.cost_model.query_cost(sql_or_profile, design)
             self.stats.raw_model_calls += 1
+        if isinstance(sql_or_profile, str):
+            self.stats.write_pairs_priced += self._count_write_sqls((sql,))
+        elif getattr(sql_or_profile, "is_write", False):
+            self.stats.write_pairs_priced += 1
         self._remember_query(key, cost)
         return cost
 
@@ -797,6 +808,7 @@ class CostEvaluationService:
         registry.gauge("costing.kernel.pairs_priced").set(
             self.stats.kernel_pairs_priced
         )
+        registry.gauge("writes.pairs_priced").set(self.stats.write_pairs_priced)
         registry.gauge("arena.builds").set(self.arena_stats.builds)
         registry.gauge("arena.hits").set(self.arena_stats.hits)
         registry.gauge("arena.evictions").set(self.arena_stats.evictions)
@@ -840,6 +852,7 @@ class CostEvaluationService:
         """
         if not misses:
             return
+        self.stats.write_pairs_priced += self._count_write_sqls(misses)
         t = tracer()
         if self.kernel is not None and len(misses) >= KERNEL_MIN_BATCH:
             self._fill_misses_kernel(design, design_fp, misses, context)
@@ -873,6 +886,22 @@ class CostEvaluationService:
             for sql, cost in zip(chunk, costs):
                 self.stats.raw_model_calls += 1
                 self._remember_query((design_fp, sql), cost)
+
+    def _count_write_sqls(self, sqls) -> int:
+        """How many of ``sqls`` are write statements (for ``writes.*``
+        observability).  Profiles come from the model's cache, so this
+        never re-parses; texts the model cannot profile count as reads."""
+        profiler = getattr(self.cost_model, "profile", None)
+        if profiler is None:  # protocol stubs without a profiler
+            return 0
+        count = 0
+        for sql in sqls:
+            try:
+                if getattr(profiler(sql), "is_write", False):
+                    count += 1
+            except ValueError:
+                continue
+        return count
 
     def _fill_misses_kernel(
         self, design, design_fp: str, misses: list[str], context=None
@@ -1075,6 +1104,9 @@ class CostEvaluationService:
                         )
                     self.stats.kernel_batch_calls += 1
                     self.stats.kernel_pairs_priced += len(misses)
+                    self.stats.write_pairs_priced += sum(
+                        int(batch.is_write[q_index[sql]]) for sql in misses
+                    )
                     if t.enabled:
                         t.emit(
                             "kernel_batch",
@@ -1174,6 +1206,9 @@ class CostEvaluationService:
                     self._remember_query((fps[c], sqls[q]), cost)
             self.stats.kernel_batch_calls += 1
             self.stats.kernel_pairs_priced += len(base_misses) + len(cell_misses)
+            self.stats.write_pairs_priced += sum(
+                int(batch.is_write[q]) for q in base_misses
+            ) + sum(int(batch.is_write[q]) for _, q in cell_misses)
             if t.enabled:
                 t.emit(
                     "kernel_batch",

@@ -83,8 +83,15 @@ def evaluate_candidates(
                     matrix[c, q] = base[q]
                     continue
                 anchor_only = adapter.structure_cost(profile, candidate)
-                if anchor_only is None and profile.anchor.table == candidate.table:
+                if (
+                    anchor_only is None
+                    and profile.anchor.table == candidate.table
+                    and not profile.is_write
+                ):
                     continue  # cannot serve this query at all
+                # Writes are never *served* by a structure, but a same-table
+                # structure still changes their cost (maintenance), so they
+                # are priced rather than left at inf.
                 matrix[c, q] = adapter.query_cost(profile, single)
     sizes = np.array([adapter.structure_size(c) for c in candidates], dtype=np.float64)
     return CandidateEvaluation(

@@ -56,6 +56,12 @@ JOIN_BUILD_COST_MS = 2e-5
 JOIN_PROBE_COST_MS = 1e-5
 #: Fixed per-query overhead (parse/plan/dispatch).
 QUERY_OVERHEAD_MS = 1.0
+#: Per-byte cost of applying a write to a stored structure (WOS/ROS
+#: moveout amortized per byte; shared value across all three substrates).
+WRITE_BYTE_COST_MS = 1e-5
+#: Fixed per-affected-row upkeep of keeping one extra projection current
+#: (tuple mover bookkeeping, positional index update).
+PROJECTION_MAINT_ROW_MS = 5e-4
 
 
 class ColumnarCostModel:
@@ -196,6 +202,50 @@ class ColumnarCostModel:
                 best, best_cost = projection, cost
         return best
 
+    # -- write costing ---------------------------------------------------------
+
+    def base_write_cost(self, profile: QueryProfile) -> float:
+        """Design-independent cost of applying the write to base storage."""
+        return (profile.affected_rows * profile.written_bytes) * WRITE_BYTE_COST_MS
+
+    def maintenance_weight(self, projection: Projection) -> float:
+        """Per-affected-row cost of keeping ``projection`` current."""
+        table = self.schema.table(projection.table)
+        width = sum(table.column(c).type.byte_width for c in projection.columns)
+        return PROJECTION_MAINT_ROW_MS + width * WRITE_BYTE_COST_MS
+
+    def write_touches(self, profile: QueryProfile, projection: Projection) -> bool:
+        """Whether ``profile``'s write forces maintenance of ``projection``.
+
+        Inserts and deletes touch every projection of the written table
+        (each stores every row); updates only touch projections storing at
+        least one written column.
+        """
+        if not profile.is_write or projection.table != profile.anchor.table:
+            return False
+        if profile.statement_kind != "update":
+            return True
+        return bool(projection.column_set & set(profile.written_columns))
+
+    def _write_cost(self, profile: QueryProfile, design: PhysicalDesign) -> float:
+        """DML cost: locate the affected rows, apply the base write, then
+        charge per-structure maintenance for every projection the write
+        touches (the robustness penalty of over-designing a hot table)."""
+        if profile.statement_kind == "insert":
+            locate = 0.0
+        else:
+            anchor_costs = [
+                self.projection_cost(profile, self._super[profile.anchor.table])
+            ]
+            for projection in design.for_table(profile.anchor.table):
+                anchor_costs.append(self.projection_cost(profile, projection))
+            locate = min(c for c in anchor_costs if c is not None)
+        cost = (QUERY_OVERHEAD_MS + locate) + self.base_write_cost(profile)
+        for projection in design.for_table(profile.anchor.table):
+            if self.write_touches(profile, projection):
+                cost = cost + profile.affected_rows * self.maintenance_weight(projection)
+        return cost
+
     def query_cost(self, sql_or_profile: str | QueryProfile, design: PhysicalDesign) -> float:
         """Estimated latency (model ms) of one query under ``design``."""
         profile = (
@@ -203,6 +253,8 @@ class ColumnarCostModel:
             if isinstance(sql_or_profile, QueryProfile)
             else self.profile(sql_or_profile)
         )
+        if profile.is_write:
+            return self._write_cost(profile, design)
         anchor_costs = [self.projection_cost(profile, self._super[profile.anchor.table])]
         for projection in design.for_table(profile.anchor.table):
             anchor_costs.append(self.projection_cost(profile, projection))

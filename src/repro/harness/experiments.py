@@ -49,6 +49,7 @@ from repro.rowstore.optimizer import RowstoreCostModel
 from repro.serve.sources import TraceSource
 from repro.state import RunCheckpointer, costing_state, restore_costing, run_key
 from repro.workload.distance import SWGO, LatencyAwareDistance, WorkloadDistance
+from repro.workload.families import ecommerce_profile, htap_profile, oltp_profile
 from repro.workload.generator import (
     DriftProfile,
     TraceGenerator,
@@ -137,7 +138,14 @@ class ExperimentContext:
         self.distance = WorkloadDistance(self.schema.total_columns)
 
     def profile_for(self, name: str) -> DriftProfile:
-        factories = {"R1": r1_profile, "S1": s1_profile, "S2": s2_profile}
+        factories = {
+            "R1": r1_profile,
+            "S1": s1_profile,
+            "S2": s2_profile,
+            "OLTP": oltp_profile,
+            "ECOMMERCE": ecommerce_profile,
+            "HTAP": htap_profile,
+        }
         return factories[name](queries_per_day=self.scale.queries_per_day)
 
     def trace(self, name: str) -> list[WorkloadQuery]:

@@ -46,6 +46,14 @@ JOIN_BUILD_COST_MS = 2e-5
 JOIN_PROBE_COST_MS = 1e-5
 #: Fixed per-query overhead.
 QUERY_OVERHEAD_MS = 1.0
+#: Per-byte cost of applying a write to a stored structure (shared value
+#: across all three substrates).
+WRITE_BYTE_COST_MS = 1e-5
+#: Fixed per-affected-row upkeep of one extra B-tree (node descent plus
+#: possible split bookkeeping) — pricier than columnar tuple-mover work.
+INDEX_MAINT_ROW_MS = 1e-3
+#: Fixed per-affected-row upkeep of an incrementally maintained view.
+VIEW_MAINT_ROW_MS = 5e-4
 
 
 class RowstoreCostModel:
@@ -193,6 +201,65 @@ class RowstoreCostModel:
                 best_structure, best_cost = structure, cost
         return best_structure
 
+    # -- write costing -------------------------------------------------------------
+
+    def base_write_cost(self, profile: QueryProfile) -> float:
+        """Design-independent cost of applying the write to base storage."""
+        return (profile.affected_rows * profile.written_bytes) * WRITE_BYTE_COST_MS
+
+    def maintenance_weight(self, structure: Index | MaterializedView) -> float:
+        """Per-affected-row cost of keeping ``structure`` current."""
+        if isinstance(structure, MaterializedView):
+            return VIEW_MAINT_ROW_MS
+        table = self.schema.table(structure.table)
+        key_bytes = sum(
+            table.column(c).type.byte_width for c in structure.columns
+        )
+        return INDEX_MAINT_ROW_MS + key_bytes * WRITE_BYTE_COST_MS
+
+    def write_touches(
+        self, profile: QueryProfile, structure: Index | MaterializedView
+    ) -> bool:
+        """Whether ``profile``'s write forces maintenance of ``structure``.
+
+        Inserts and deletes touch every structure of the written table;
+        updates only touch structures referencing a written column (index
+        keys, view groupings or measures).
+        """
+        if not profile.is_write or structure.table != profile.anchor.table:
+            return False
+        if profile.statement_kind != "update":
+            return True
+        written = set(profile.written_columns)
+        if isinstance(structure, MaterializedView):
+            return bool((structure.group_set | structure.measure_set) & written)
+        return bool(structure.column_set & written)
+
+    def _write_cost(self, profile: QueryProfile, design: RowstoreDesign) -> float:
+        """DML cost: locate the affected rows, apply the base write, then
+        charge per-structure maintenance for every index/view the write
+        touches."""
+        table = profile.anchor.table
+        if profile.statement_kind == "insert":
+            locate = 0.0
+        else:
+            locate = self._scan_cost(profile.anchor) + self._post_cost(profile)
+            for structure in list(design.indices_for(table)) + list(
+                design.views_for(table)
+            ):
+                cost = self.structure_cost(profile, structure)
+                if cost is not None and cost < locate:
+                    locate = cost
+        total = (QUERY_OVERHEAD_MS + locate) + self.base_write_cost(profile)
+        for structure in list(design.indices_for(table)) + list(
+            design.views_for(table)
+        ):
+            if self.write_touches(profile, structure):
+                total = total + profile.affected_rows * self.maintenance_weight(
+                    structure
+                )
+        return total
+
     def query_cost(
         self, sql_or_profile: str | QueryProfile, design: RowstoreDesign
     ) -> float:
@@ -202,6 +269,8 @@ class RowstoreCostModel:
             if isinstance(sql_or_profile, QueryProfile)
             else self.profile(sql_or_profile)
         )
+        if profile.is_write:
+            return self._write_cost(profile, design)
         best = self._scan_cost(profile.anchor) + self._post_cost(profile)
         for structure in list(design.indices_for(profile.anchor.table)) + list(
             design.views_for(profile.anchor.table)

@@ -26,6 +26,12 @@ PREDICATE_COST_MS = 1e-5
 HASH_AGG_COST_MS = 2e-5
 #: Fixed per-query overhead.
 QUERY_OVERHEAD_MS = 1.0
+#: Per-byte cost of applying a write to a stored structure (shared value
+#: across all three substrates).
+WRITE_BYTE_COST_MS = 1e-5
+#: Fixed per-affected-row upkeep of one stratified sample (reservoir
+#: membership test plus stratum counter update).
+SAMPLE_MAINT_ROW_MS = 1e-4
 #: Queries whose estimated relative error would exceed this cannot be
 #: served approximately (the optimizer refuses, as AQP systems do).
 MAX_RELATIVE_ERROR = 0.12
@@ -112,6 +118,49 @@ class SamplesCostModel:
         rows = float(self.statistics[access.table].row_count)
         return rows * access.row_bytes * BYTE_COST_MS
 
+    # -- write costing --------------------------------------------------------------
+
+    def base_write_cost(self, profile: QueryProfile) -> float:
+        """Design-independent cost of applying the write to base storage."""
+        return (profile.affected_rows * profile.written_bytes) * WRITE_BYTE_COST_MS
+
+    def maintenance_weight(self, sample: StratifiedSample) -> float:
+        """Per-affected-row cost of keeping ``sample`` current.
+
+        Only ``fraction`` of the written rows land in the sample, so the
+        byte component scales with the sampling rate.
+        """
+        table = self.schema.table(sample.table)
+        return SAMPLE_MAINT_ROW_MS + (
+            sample.fraction * table.row_bytes
+        ) * WRITE_BYTE_COST_MS
+
+    def write_touches(self, profile: QueryProfile, sample: StratifiedSample) -> bool:
+        """Whether ``profile``'s write forces maintenance of ``sample``.
+
+        Inserts and deletes change sample membership; updates only matter
+        when they rewrite a stratum column (the stratification itself).
+        """
+        if not profile.is_write or sample.table != profile.anchor.table:
+            return False
+        if profile.statement_kind != "update":
+            return True
+        return bool(sample.strata_set & set(profile.written_columns))
+
+    def _write_cost(self, profile: QueryProfile, design: SampleDesign) -> float:
+        """DML cost: locate the affected rows (always on the base table —
+        samples cannot answer writes), apply the base write, then charge
+        per-sample maintenance."""
+        if profile.statement_kind == "insert":
+            locate = 0.0
+        else:
+            locate = self.exact_cost(profile)
+        cost = (QUERY_OVERHEAD_MS + locate) + self.base_write_cost(profile)
+        for sample in design.for_table(profile.anchor.table):
+            if self.write_touches(profile, sample):
+                cost = cost + profile.affected_rows * self.maintenance_weight(sample)
+        return cost
+
     def query_cost(self, sql_or_profile, design: SampleDesign) -> float:
         """Estimated latency (model ms) of one query under ``design``."""
         profile = (
@@ -119,6 +168,8 @@ class SamplesCostModel:
             if isinstance(sql_or_profile, QueryProfile)
             else self.profile(sql_or_profile)
         )
+        if profile.is_write:
+            return self._write_cost(profile, design)
         best = self.exact_cost(profile)
         for sample in design.for_table(profile.anchor.table):
             cost = self.sample_cost(profile, sample)

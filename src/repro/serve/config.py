@@ -73,6 +73,12 @@ class ServeConfig:
     history_limit:
         How many recent queries to retain as the perturbation pool for
         background re-designs (0 disables pool seeding).
+    monitor_log_limit:
+        Retention bound on the drift monitor's in-memory reading/alarm
+        logs (and hence on their share of every checkpoint).  Lifetime
+        totals are tracked separately, so the outcome counts are exact
+        regardless of the bound.  ``None`` keeps every entry (the
+        pre-bound behavior — checkpoints grow with stream length).
     checkpoint_path / checkpoint_every / resume:
         Crash-safety knobs; each ``None`` inherits the run config's
         value.  ``checkpoint_every`` counts *window boundaries* between
@@ -91,6 +97,7 @@ class ServeConfig:
     drain: bool = True
     record_queries: bool = True
     history_limit: int = 4000
+    monitor_log_limit: int | None = 512
     checkpoint_path: str | Path | None = None
     checkpoint_every: int | None = None
     resume: bool | None = None
@@ -114,6 +121,8 @@ class ServeConfig:
             raise ValueError("max_queries must be >= 1")
         if self.history_limit < 0:
             raise ValueError("history_limit must be non-negative")
+        if self.monitor_log_limit is not None and self.monitor_log_limit < 1:
+            raise ValueError("monitor_log_limit must be positive (or None)")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.source is not None and not isinstance(self.source, (QuerySource, str)):

@@ -192,6 +192,7 @@ class ServeDaemon:
             window_days=window_days,
             measure_every_days=max(window_days / 4.0, 1e-9),
             refractory_days=window_days,
+            max_log_entries=serve.monitor_log_limit,
         )
         self.active = ActiveDesign(adapter.empty_design(), epoch=0)
         # -- mutable run state (everything below is checkpointed) --------------
@@ -224,6 +225,7 @@ class ServeDaemon:
             serve.swap_mode,
             serve.max_queries,
             serve.history_limit,
+            serve.monitor_log_limit,
         )
 
     # -- checkpointing -----------------------------------------------------------
@@ -312,6 +314,8 @@ class ServeDaemon:
                 cost = None
             else:
                 cost = self.adapter.query_cost(profile, design)
+                if profile.is_write:
+                    get_metrics().counter("writes.ingested").inc()
         return PricedQuery(
             position=self.position,
             timestamp=query.timestamp,
@@ -574,8 +578,8 @@ class ServeDaemon:
             final_design_digest=design_digest(self.adapter, snapshot.design),
             structure_count=len(self.adapter.structures(snapshot.design)),
             design_price_bytes=self.adapter.design_price(snapshot.design),
-            drift_readings=len(self.monitor.readings),
-            drift_alarms=len(self.monitor.alarms),
+            drift_readings=self.monitor.readings_total,
+            drift_alarms=self.monitor.alarms_total,
             priced=list(self.priced) if self.serve.record_queries else None,
             resumed=resumed,
             wall_seconds=wall,

@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.sql.ast import Aggregate, SelectStatement
+from repro.sql.ast import (
+    Aggregate,
+    ColumnRef,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
 from repro.sql.parser import parse
 
 #: Clause keys, in the paper's SWGO order.
@@ -74,8 +82,44 @@ class QueryTemplate:
         )
 
 
-def analyze(stmt: SelectStatement) -> QueryTemplate:
-    """Extract the clause-wise column sets from a parsed statement."""
+def _qualified(ref: ColumnRef, table: str) -> str:
+    """The ref's qualified name, defaulting bare DML columns to ``table``.
+
+    Write statements conventionally use bare column names (``SET m_01 =
+    ...``); qualifying them against the statement's single target table
+    keeps write templates comparable with the fully qualified read
+    templates the generator emits.
+    """
+    return ref.qualified if ref.table else f"{table}.{ref.name}"
+
+
+def analyze(stmt: Statement) -> QueryTemplate:
+    """Extract the clause-wise column sets from a parsed statement.
+
+    Write statements map onto the same SWGO shape: the *written* columns
+    (INSERT column list, UPDATE SET targets) land in the select set — they
+    are the columns the statement touches by value — and the WHERE
+    conjunction lands in the where set.  Group/order stay empty.
+    """
+    if isinstance(stmt, InsertStatement):
+        return QueryTemplate(
+            select=frozenset(_qualified(c, stmt.table) for c in stmt.columns),
+            where=frozenset(),
+            group_by=frozenset(),
+            order_by=frozenset(),
+        )
+    if isinstance(stmt, (UpdateStatement, DeleteStatement)):
+        written: set[str] = set()
+        if isinstance(stmt, UpdateStatement):
+            written = {_qualified(a.column, stmt.table) for a in stmt.assignments}
+        return QueryTemplate(
+            select=frozenset(written),
+            where=frozenset(
+                _qualified(p.column, stmt.table) for p in stmt.where
+            ),
+            group_by=frozenset(),
+            order_by=frozenset(),
+        )
     select_cols: set[str] = set()
     for item in stmt.select:
         if isinstance(item.expr, Aggregate):

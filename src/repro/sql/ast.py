@@ -6,6 +6,12 @@ simple predicates, optional ``GROUP BY``, ``ORDER BY``, and ``LIMIT``.
 This covers the OLAP template shapes studied in the paper (the paper
 fingerprints queries by clause-wise column sets, so richer SQL would add no
 information to the reproduction while complicating every substrate).
+
+The write side mirrors the same flatness: ``INSERT`` is a column list plus
+literal rows, ``UPDATE`` a conjunction-filtered set of column assignments,
+``DELETE`` a conjunction-filtered row removal — enough to drive
+per-structure maintenance charging in the cost models without growing a
+general DML dialect.
 """
 
 from __future__ import annotations
@@ -181,6 +187,70 @@ class SelectStatement:
     def predicate_columns(self) -> tuple[ColumnRef, ...]:
         """Columns referenced anywhere in the WHERE conjunction."""
         return tuple(pred.column for pred in self.where)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = literal`` pair in an ``UPDATE ... SET`` list."""
+
+    column: ColumnRef
+    value: Literal
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO table (c1, ...) VALUES (v1, ...)[, (...)]``."""
+
+    table: str
+    columns: tuple[ColumnRef, ...]
+    rows: tuple[tuple[Literal, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("an INSERT statement needs a column list")
+        if not self.rows:
+            raise ValueError("an INSERT statement needs at least one VALUES row")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"VALUES row has {len(row)} values for {len(self.columns)} columns"
+                )
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """``UPDATE table SET c = v[, ...] [WHERE ...]``."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    where: tuple[PredicateType, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise ValueError("an UPDATE statement needs at least one assignment")
+
+    def predicate_columns(self) -> tuple[ColumnRef, ...]:
+        """Columns referenced anywhere in the WHERE conjunction."""
+        return tuple(pred.column for pred in self.where)
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: tuple[PredicateType, ...] = ()
+
+    def predicate_columns(self) -> tuple[ColumnRef, ...]:
+        """Columns referenced anywhere in the WHERE conjunction."""
+        return tuple(pred.column for pred in self.where)
+
+
+#: Union type of every statement the parser can return.
+Statement = SelectStatement | InsertStatement | UpdateStatement | DeleteStatement
+
+#: Write statements, as a tuple for isinstance checks.
+WriteStatement = (InsertStatement, UpdateStatement, DeleteStatement)
 
 
 def column_of(name: str) -> ColumnRef:

@@ -10,7 +10,9 @@ from repro.sql.ast import (
     Aggregate,
     BetweenPredicate,
     ComparisonPredicate,
+    DeleteStatement,
     InPredicate,
+    InsertStatement,
     IsNullPredicate,
     LikePredicate,
     Literal,
@@ -18,6 +20,8 @@ from repro.sql.ast import (
     PredicateType,
     SelectItem,
     SelectStatement,
+    Statement,
+    UpdateStatement,
 )
 
 
@@ -55,8 +59,37 @@ def _format_order_item(item: OrderItem) -> str:
     return f"{item.column} {'ASC' if item.ascending else 'DESC'}"
 
 
-def format_statement(stmt: SelectStatement) -> str:
+def _format_insert(stmt: InsertStatement) -> str:
+    columns = ", ".join(c.qualified for c in stmt.columns)
+    rows = ", ".join(
+        "(" + ", ".join(str(v) for v in row) + ")" for row in stmt.rows
+    )
+    return f"INSERT INTO {stmt.table} ({columns}) VALUES {rows}"
+
+
+def _format_update(stmt: UpdateStatement) -> str:
+    sets = ", ".join(f"{a.column} = {a.value}" for a in stmt.assignments)
+    text = f"UPDATE {stmt.table} SET {sets}"
+    if stmt.where:
+        text += " WHERE " + " AND ".join(format_predicate(p) for p in stmt.where)
+    return text
+
+
+def _format_delete(stmt: DeleteStatement) -> str:
+    text = f"DELETE FROM {stmt.table}"
+    if stmt.where:
+        text += " WHERE " + " AND ".join(format_predicate(p) for p in stmt.where)
+    return text
+
+
+def format_statement(stmt: Statement) -> str:
     """Render ``stmt`` as a single-line canonical SQL string."""
+    if isinstance(stmt, InsertStatement):
+        return _format_insert(stmt)
+    if isinstance(stmt, UpdateStatement):
+        return _format_update(stmt)
+    if isinstance(stmt, DeleteStatement):
+        return _format_delete(stmt)
     if stmt.select_star:
         select_list = "*"
     else:

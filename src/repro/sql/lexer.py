@@ -35,6 +35,12 @@ KEYWORDS = frozenset(
         "INNER",
         "ON",
         "AS",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
         "COUNT",
         "SUM",
         "AVG",

@@ -2,8 +2,15 @@
 
 Grammar (informal)::
 
-    statement   := SELECT select_list FROM identifier join* where?
+    statement   := select | insert | update | delete
+    select      := SELECT select_list FROM identifier join* where?
                    group_by? order_by? limit?
+    insert      := INSERT INTO identifier '(' column (',' column)* ')'
+                   VALUES values_row (',' values_row)*
+    values_row  := '(' literal (',' literal)* ')'
+    update      := UPDATE identifier SET assignment (',' assignment)* where?
+    assignment  := column '=' literal
+    delete      := DELETE FROM identifier where?
     select_list := '*' | select_item (',' select_item)*
     select_item := column | aggregate [AS identifier]
     aggregate   := FUNC '(' [DISTINCT] (column | '*') ')'
@@ -26,10 +33,13 @@ from __future__ import annotations
 from repro.sql.ast import (
     AGGREGATE_FUNCS,
     Aggregate,
+    Assignment,
     BetweenPredicate,
     ColumnRef,
     ComparisonPredicate,
+    DeleteStatement,
     InPredicate,
+    InsertStatement,
     IsNullPredicate,
     Join,
     LikePredicate,
@@ -38,6 +48,8 @@ from repro.sql.ast import (
     PredicateType,
     SelectItem,
     SelectStatement,
+    Statement,
+    UpdateStatement,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
 
@@ -89,7 +101,16 @@ class _Parser:
 
     # -- grammar productions ---------------------------------------------------
 
-    def parse_statement(self) -> SelectStatement:
+    def parse_statement(self) -> Statement:
+        if self._check_keyword("INSERT"):
+            return self._parse_insert()
+        if self._check_keyword("UPDATE"):
+            return self._parse_update()
+        if self._check_keyword("DELETE"):
+            return self._parse_delete()
+        return self._parse_select()
+
+    def _parse_select(self) -> SelectStatement:
         self._expect_keyword("SELECT")
         select_star = False
         items: list[SelectItem] = []
@@ -128,9 +149,7 @@ class _Parser:
             limit_token = self._expect(TokenType.NUMBER)
             limit = int(float(limit_token.value))
 
-        token = self._peek()
-        if token.type is not TokenType.EOF:
-            raise ParseError("unexpected trailing input", token)
+        self._expect_eof()
 
         return SelectStatement(
             select=tuple(items),
@@ -142,6 +161,78 @@ class _Parser:
             limit=limit,
             select_star=select_star,
         )
+
+    def _expect_eof(self) -> None:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError("unexpected trailing input", token)
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.LPAREN)
+        columns = [self._parse_column()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            columns.append(self._parse_column())
+        self._expect(TokenType.RPAREN)
+        self._expect_keyword("VALUES")
+        rows = [self._parse_values_row(len(columns))]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            rows.append(self._parse_values_row(len(columns)))
+        self._expect_eof()
+        return InsertStatement(
+            table=table, columns=tuple(columns), rows=tuple(rows)
+        )
+
+    def _parse_values_row(self, width: int) -> tuple[Literal, ...]:
+        opener = self._expect(TokenType.LPAREN)
+        values = [self._parse_literal()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_literal())
+        self._expect(TokenType.RPAREN)
+        if len(values) != width:
+            raise ParseError(
+                f"VALUES row has {len(values)} values for {width} columns", opener
+            )
+        return tuple(values)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect(TokenType.IDENTIFIER).value
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            assignments.append(self._parse_assignment())
+        where: tuple[PredicateType, ...] = ()
+        if self._match_keyword("WHERE"):
+            where = self._parse_where()
+        self._expect_eof()
+        return UpdateStatement(
+            table=table, assignments=tuple(assignments), where=where
+        )
+
+    def _parse_assignment(self) -> Assignment:
+        column = self._parse_column()
+        op = self._expect(TokenType.OPERATOR)
+        if op.value != "=":
+            raise ParseError("expected = in SET assignment", op)
+        value = self._parse_literal()
+        return Assignment(column=column, value=value)
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect(TokenType.IDENTIFIER).value
+        where: tuple[PredicateType, ...] = ()
+        if self._match_keyword("WHERE"):
+            where = self._parse_where()
+        self._expect_eof()
+        return DeleteStatement(table=table, where=where)
 
     def _parse_select_item(self) -> SelectItem:
         token = self._peek()
@@ -270,8 +361,8 @@ class _Parser:
         raise ParseError("expected a literal", token)
 
 
-def parse(sql: str) -> SelectStatement:
-    """Parse ``sql`` into a :class:`~repro.sql.ast.SelectStatement`.
+def parse(sql: str) -> Statement:
+    """Parse ``sql`` into an AST statement (SELECT or INSERT/UPDATE/DELETE).
 
     Raises :class:`ParseError` (or :class:`~repro.sql.lexer.LexError`) on
     malformed input.

@@ -15,6 +15,11 @@ from repro.workload.distance import (
     WorkloadDistance,
     delta_euclidean,
 )
+from repro.workload.families import (
+    ecommerce_profile,
+    htap_profile,
+    oltp_profile,
+)
 from repro.workload.generator import (
     DriftProfile,
     TraceGenerator,
@@ -41,6 +46,9 @@ __all__ = [
     "WorkloadQuery",
     "build_star_schema",
     "delta_euclidean",
+    "ecommerce_profile",
+    "htap_profile",
+    "oltp_profile",
     "r1_profile",
     "s1_profile",
     "s2_profile",

@@ -1,0 +1,98 @@
+"""Mixed read/write workload families.
+
+The paper's R1/S1/S2 traces are read-only; these families add the write
+pressure real deployments carry, so robustness experiments can show the
+other side of the cliff: a design that wins on reads can lose badly once
+every extra structure must be maintained against a stream of DML.
+
+Each family is a :class:`~repro.workload.generator.DriftProfile` with a
+``query_distribution`` read/write mix plus family-specific drift shapes:
+
+* :func:`oltp_profile` — write-dominated point work (orders, payments):
+  low churn, short queries, writes outnumber reads.
+* :func:`ecommerce_profile` — read-mostly with flash-sale write bursts
+  and a seasonal demand sinusoid (~quarterly).
+* :func:`htap_profile` — R1-style analytical drift over a transactional
+  substrate: 70% reads under the full churn machinery, 30% writes.
+
+All three cap the revival archive (``archive_cap``) so week-long streams
+hold memory flat.
+"""
+
+from __future__ import annotations
+
+from repro.workload.generator import DriftProfile
+
+__all__ = ["ecommerce_profile", "htap_profile", "oltp_profile"]
+
+
+def oltp_profile(**overrides) -> DriftProfile:
+    """Write-heavy transactional mix: inserts and updates dominate."""
+    params = dict(
+        name="OLTP",
+        mixture_sigma=0.02,
+        burst_probability=0.0,
+        churn_rate=0.01,
+        core_mass=0.5,
+        core_churn_rate=0.001,
+        trivial_fraction=0.0,
+        query_distribution={
+            "select": 0.35,
+            "insert": 0.35,
+            "update": 0.20,
+            "delete": 0.10,
+        },
+        archive_cap=512,
+    )
+    params.update(overrides)
+    return DriftProfile(**params)
+
+
+def ecommerce_profile(**overrides) -> DriftProfile:
+    """Read-mostly storefront with flash sales and a seasonal cycle."""
+    params = dict(
+        name="ECOMMERCE",
+        mixture_sigma=0.05,
+        burst_probability=0.02,
+        churn_rate=0.08,
+        core_mass=0.35,
+        core_churn_rate=0.005,
+        revival_probability=0.6,
+        query_distribution={
+            "select": 0.60,
+            "insert": 0.25,
+            "update": 0.10,
+            "delete": 0.05,
+        },
+        flash_sale_probability=0.04,
+        flash_sale_write_boost=3.0,
+        seasonal_period_days=91.0,
+        seasonal_amplitude=0.5,
+        archive_cap=512,
+    )
+    params.update(overrides)
+    return DriftProfile(**params)
+
+
+def htap_profile(**overrides) -> DriftProfile:
+    """R1-style analytical drift riding on a transactional write stream."""
+    params = dict(
+        name="HTAP",
+        mixture_sigma=0.05,
+        burst_probability=0.03,
+        churn_rate=0.35,
+        churn_volatility=0.60,
+        core_mass=0.30,
+        core_churn_rate=0.02,
+        revival_probability=0.95,
+        revival_halflife_days=60.0,
+        query_distribution={
+            "select": 0.70,
+            "insert": 0.20,
+            "update": 0.07,
+            "delete": 0.03,
+        },
+        archive_cap=512,
+    )
+    params.update(overrides)
+    return DriftProfile(**params)

@@ -449,6 +449,25 @@ class DriftProfile:
     #: Fraction of emitted queries that are trivial full scans (filtered out
     #: by the harness, mirroring the paper's 515-of-15.5K benefit filter).
     trivial_fraction: float = 0.03
+    #: Read/write statement mix, e.g. ``{"select": 0.7, "insert": 0.2,
+    #: "update": 0.07, "delete": 0.03}``.  ``None`` (the default) emits a
+    #: pure-select trace and draws no extra randomness, so pre-existing
+    #: profiles produce byte-identical streams.
+    query_distribution: dict[str, float] | None = None
+    #: Per-day probability of a flash-sale burst starting: for its 1–3 day
+    #: duration the write share of ``query_distribution`` is multiplied by
+    #: ``flash_sale_write_boost`` (then renormalized).
+    flash_sale_probability: float = 0.0
+    flash_sale_write_boost: float = 3.0
+    #: When > 0, a deterministic seasonal sinusoid of this period (days)
+    #: modulates the write share by ``1 ± seasonal_amplitude`` — the
+    #: slow demand cycle of the e-commerce family.
+    seasonal_period_days: float = 0.0
+    seasonal_amplitude: float = 0.0
+    #: Hard cap on each topic's revival archive (oldest entries beyond the
+    #: retention horizon are always pruned; the cap bounds pathological
+    #: churn bursts).  ``None`` keeps only the horizon-based pruning.
+    archive_cap: int | None = None
 
 
 def r1_profile(**overrides) -> DriftProfile:
@@ -513,6 +532,7 @@ class TraceGenerator:
         roles: WorkloadRoles | StarRoles,
         profile: DriftProfile,
         seed: int = 0,
+        total_days: int | None = None,
     ):
         self.schema = schema
         if isinstance(roles, StarRoles):
@@ -561,6 +581,12 @@ class TraceGenerator:
         else:
             self._log_churn_multiplier = 0.0
         self._progress = 0.0  # fraction of the generation period elapsed
+        #: Overall period length for progress-anchored shapes (S2's churn
+        #: ramp).  Derived from the *first* ``generate`` call when not
+        #: given, so chunked generation matches one long call.
+        self._total_days = total_days
+        self._anchor_day: float | None = None
+        self._flash_days_left = 0
 
     def _advance_day(self) -> None:
         profile = self.profile
@@ -588,9 +614,37 @@ class TraceGenerator:
                 if self.rng.random() < churn:
                     self._archive[t].append((spec, self._day))
                     topic[i] = self._replacement(t, spec, topic_roles)
+        self._prune_archives()
         for i, spec in enumerate(self._core):
             if self.rng.random() < profile.core_churn_rate:
                 self._core[i] = _mutate_spec(spec, self._core_roles, self.rng)
+        if profile.flash_sale_probability > 0:
+            if self._flash_days_left > 0:
+                self._flash_days_left -= 1
+            elif self.rng.random() < profile.flash_sale_probability:
+                self._flash_days_left = int(self.rng.integers(1, 4))
+
+    def _prune_archives(self) -> None:
+        """Bound the revival archives (draws no randomness).
+
+        Entries older than the retention horizon have revival weight below
+        ``e^-6`` — practically unreachable — yet before this fix every
+        retired template was kept forever, growing each archive linearly
+        with stream length.  Archives are appended in day order, so the
+        prefix is the oldest.
+        """
+        profile = self.profile
+        horizon = profile.revival_min_age_days + 6.0 * profile.revival_halflife_days
+        cutoff = self._day - horizon
+        for archive in self._archive:
+            drop = 0
+            while drop < len(archive) and archive[drop][1] < cutoff:
+                drop += 1
+            if drop:
+                del archive[:drop]
+            cap = profile.archive_cap
+            if cap is not None and len(archive) > cap:
+                del archive[: len(archive) - cap]
 
     def _replacement(
         self, topic_index: int, dying: TemplateSpec, topic_roles: StarRoles
@@ -631,17 +685,128 @@ class TraceGenerator:
             weights[self._burst_topic] *= 5.0
         return weights / weights.sum()
 
+    def _day_write_mix(self) -> list[tuple[str, float]] | None:
+        """Today's statement mix as a cumulative distribution (or None).
+
+        Flash-sale bursts and the seasonal sinusoid scale the write share
+        before renormalizing; the sinusoid is a deterministic function of
+        ``self._day``, so it costs no randomness.
+        """
+        profile = self.profile
+        dist = profile.query_distribution
+        if not dist:
+            return None
+        mix = {k: max(float(v), 0.0) for k, v in dist.items()}
+        boost = 1.0
+        if self._flash_days_left > 0:
+            boost *= profile.flash_sale_write_boost
+        if profile.seasonal_period_days > 0:
+            boost *= 1.0 + profile.seasonal_amplitude * math.sin(
+                2.0 * math.pi * self._day / profile.seasonal_period_days
+            )
+        if boost != 1.0:
+            for kind in ("insert", "update", "delete"):
+                if kind in mix:
+                    mix[kind] *= max(boost, 0.0)
+        total = sum(mix.values())
+        if total <= 0:
+            return None
+        cumulative: list[tuple[str, float]] = []
+        running = 0.0
+        for kind, share in mix.items():
+            running += share / total
+            cumulative.append((kind, running))
+        return cumulative
+
+    def _draw_kind(self, cumulative: list[tuple[str, float]]) -> str:
+        roll = float(self.rng.random())
+        for kind, edge in cumulative:
+            if roll < edge:
+                return kind
+        return cumulative[-1][0]
+
+    def _write_sql(self, kind: str, spec: TemplateSpec, roles: StarRoles) -> str:
+        """Render one DML statement shaped by ``spec``'s business area."""
+        fact = roles.fact
+        table = self.schema.table(fact)
+        rng = self.rng
+        if kind == "insert":
+            columns = list(
+                dict.fromkeys(
+                    list(spec.eq_filters)
+                    + list(spec.range_filters)
+                    + list(spec.measures)
+                )
+            ) or list(roles.measures[:1])
+            rows = []
+            for _ in range(int(rng.integers(1, 4))):
+                values = [
+                    int(rng.integers(0, max(table.column(c).ndv, 1)))
+                    for c in columns
+                ]
+                rows.append("(" + ", ".join(str(v) for v in values) + ")")
+            return (
+                f"INSERT INTO {fact} ({', '.join(columns)}) "
+                f"VALUES {', '.join(rows)}"
+            )
+        where_parts: list[str] = []
+        for name in spec.eq_filters:
+            ndv = table.column(name).ndv
+            where_parts.append(f"{name} = {int(rng.integers(0, max(ndv, 1)))}")
+        for name in spec.range_filters:
+            ndv = max(table.column(name).ndv, 2)
+            span = max(1, int(ndv * float(rng.uniform(0.01, 0.15))))
+            low = int(rng.integers(0, max(ndv - span, 1)))
+            where_parts.append(f"{name} BETWEEN {low} AND {low + span}")
+        where = f" WHERE {' AND '.join(where_parts)}" if where_parts else ""
+        if kind == "update":
+            targets = list(spec.measures) or list(roles.measures[:1])
+            assignments = ", ".join(
+                f"{m} = {int(rng.integers(0, max(table.column(m).ndv, 1)))}"
+                for m in targets
+            )
+            return f"UPDATE {fact} SET {assignments}{where}"
+        return f"DELETE FROM {fact}{where}"
+
     def generate(self, days: int, start_day: float = 0.0) -> list[WorkloadQuery]:
-        """Emit ``days`` days of queries starting at ``start_day``."""
+        """Emit ``days`` days of queries starting at ``start_day``.
+
+        Progress-anchored drift shapes (S2's churn ramp) measure progress
+        against the *overall* period — anchored at the first call's
+        ``start_day`` and spanning ``total_days`` (defaulting to the first
+        call's ``days``) — so generating 60 days in one call or in six
+        10-day chunks walks the same trajectory.
+        """
         queries: list[WorkloadQuery] = []
         profile = self.profile
+        if self._anchor_day is None:
+            self._anchor_day = start_day
+        if self._total_days is None:
+            self._total_days = days
         for day in range(days):
-            self._progress = day / max(days - 1, 1)
             self._day = start_day + day
+            elapsed = self._day - self._anchor_day
+            self._progress = min(
+                max(elapsed / max(self._total_days - 1, 1), 0.0), 1.0
+            )
             self._advance_day()
             weights = self._topic_weights()
+            write_mix = self._day_write_mix()
             for _ in range(profile.queries_per_day):
                 timestamp = start_day + day + float(self.rng.uniform(0.0, 1.0))
+                kind = "select" if write_mix is None else self._draw_kind(write_mix)
+                if kind != "select":
+                    topic = int(self.rng.choice(profile.topic_count, p=weights))
+                    specs = self._topics[topic]
+                    spec = specs[int(self.rng.integers(0, len(specs)))]
+                    spec_roles = self._topic_roles[topic]
+                    queries.append(
+                        WorkloadQuery(
+                            sql=self._write_sql(kind, spec, spec_roles),
+                            timestamp=timestamp,
+                        )
+                    )
+                    continue
                 if self.rng.random() < profile.trivial_fraction:
                     queries.append(
                         WorkloadQuery(

@@ -55,22 +55,33 @@ class WorkloadMonitor:
         window_days: float = 28.0,
         measure_every_days: float = 1.0,
         refractory_days: float = 7.0,
+        max_log_entries: int | None = None,
     ):
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
         if window_days <= 0 or measure_every_days <= 0:
             raise ValueError("window and measurement periods must be positive")
+        if max_log_entries is not None and max_log_entries < 1:
+            raise ValueError("max_log_entries must be positive (or None)")
         self.distance = distance
         self.threshold = threshold
         self.window_days = window_days
         self.measure_every_days = measure_every_days
         self.refractory_days = refractory_days
+        #: Retention bound on the in-memory ``readings``/``alarms`` logs.
+        #: Alarm/measure decisions depend only on the cadence anchors, so
+        #: trimming old entries never changes future behavior — it only
+        #: keeps long-stream checkpoints (which embed both logs) bounded.
+        self.max_log_entries = max_log_entries
         self._current: deque[WorkloadQuery] = deque()
         self._reference: Workload | None = None
         self._last_measure: float | None = None
         self._last_alarm: float | None = None
         self.readings: list[DriftReading] = []
         self.alarms: list[DriftAlarm] = []
+        #: Lifetime totals — unlike the bounded logs, these never shrink.
+        self.readings_total = 0
+        self.alarms_total = 0
 
     # -- reference management ----------------------------------------------------
 
@@ -120,6 +131,8 @@ class WorkloadMonitor:
         self._last_measure = query.timestamp
         measured = self.distance(self._reference, self.current_window)
         self.readings.append(DriftReading(at_day=query.timestamp, distance=measured))
+        self.readings_total += 1
+        self._trim_logs()
         if measured > self.threshold:
             in_refractory = (
                 self._last_alarm is not None
@@ -133,8 +146,20 @@ class WorkloadMonitor:
                     threshold=self.threshold,
                 )
                 self.alarms.append(alarm)
+                self.alarms_total += 1
+                self._trim_logs()
                 return alarm
         return None
+
+    def _trim_logs(self) -> None:
+        """Drop the oldest log entries beyond the retention bound."""
+        cap = self.max_log_entries
+        if cap is None:
+            return
+        if len(self.readings) > cap:
+            del self.readings[: len(self.readings) - cap]
+        if len(self.alarms) > cap:
+            del self.alarms[: len(self.alarms) - cap]
 
     def observe_many(self, queries) -> list[DriftAlarm]:
         """Feed a sequence of queries; returns all alarms raised."""
@@ -165,13 +190,21 @@ class WorkloadMonitor:
             "last_alarm": self._last_alarm,
             "readings": list(self.readings),
             "alarms": list(self.alarms),
+            "readings_total": self.readings_total,
+            "alarms_total": self.alarms_total,
         }
 
     def restore(self, state: dict) -> None:
-        """Restore what :meth:`state` captured."""
+        """Restore what :meth:`state` captured.
+
+        The totals keys default to the log lengths so checkpoints written
+        before the retention bound existed restore unchanged.
+        """
         self._current = deque(state["current"])
         self._reference = state["reference"]
         self._last_measure = state["last_measure"]
         self._last_alarm = state["last_alarm"]
         self.readings = list(state["readings"])
         self.alarms = list(state["alarms"])
+        self.readings_total = state.get("readings_total", len(self.readings))
+        self.alarms_total = state.get("alarms_total", len(self.alarms))

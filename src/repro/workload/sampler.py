@@ -35,8 +35,11 @@ from repro.sql.analyzer import extract_template
 from repro.sql.ast import (
     Aggregate,
     ColumnRef,
+    DeleteStatement,
+    InsertStatement,
     OrderItem,
     SelectItem,
+    UpdateStatement,
 )
 from repro.sql.formatter import format_statement
 from repro.sql.parser import parse
@@ -157,6 +160,9 @@ def mutate_query(
             return None
         return ColumnRef(replacement, ref.table)
 
+    if isinstance(stmt, (InsertStatement, UpdateStatement, DeleteStatement)):
+        return _mutate_write(stmt, rng, swap_ref)
+
     # Collect mutation sites: (kind, position) pairs.  Select-list and
     # grouping sites are weighted up (entered twice) because analytical
     # drift changes the measures and breakdowns far more often than the
@@ -217,6 +223,54 @@ def mutate_query(
         order = list(stmt.order_by)
         order[pos] = OrderItem(column=new_ref, ascending=item.ascending)
         stmt = dataclasses.replace(stmt, order_by=tuple(order))
+    return format_statement(stmt)
+
+
+def _mutate_write(stmt, rng: np.random.Generator, swap_ref):
+    """Template-mutate one DML statement (the write analogue of drift).
+
+    Writes drift the same way reads do — the *column set* shifts: an
+    insert starts populating a different attribute, an update rewrites a
+    different measure, a delete filters on a different key.  Written
+    columns are weighted up (entered twice) over locate predicates, and
+    a swap that would collide with another referenced column is a failed
+    attempt (``None``), mirroring the read path's contract.
+    """
+    if isinstance(stmt, InsertStatement):
+        taken = {c.name for c in stmt.columns}
+        pos = int(rng.integers(0, len(stmt.columns)))
+        new_ref = swap_ref(stmt.columns[pos])
+        if new_ref is None or new_ref.name in taken:
+            return None
+        columns = list(stmt.columns)
+        columns[pos] = new_ref
+        return format_statement(dataclasses.replace(stmt, columns=tuple(columns)))
+    sites: list[tuple[str, int]] = []
+    if isinstance(stmt, UpdateStatement):
+        for i in range(len(stmt.assignments)):
+            sites.append(("set", i))
+            sites.append(("set", i))
+    sites.extend(("where", i) for i in range(len(stmt.where)))
+    if not sites:
+        return None
+    kind, pos = sites[int(rng.integers(0, len(sites)))]
+    if kind == "set":
+        taken = {a.column.name for a in stmt.assignments}
+        assignment = stmt.assignments[pos]
+        new_ref = swap_ref(assignment.column)
+        if new_ref is None or new_ref.name in taken:
+            return None
+        assignments = list(stmt.assignments)
+        assignments[pos] = dataclasses.replace(assignment, column=new_ref)
+        stmt = dataclasses.replace(stmt, assignments=tuple(assignments))
+    else:
+        pred = stmt.where[pos]
+        new_ref = swap_ref(pred.column)
+        if new_ref is None:
+            return None
+        where = list(stmt.where)
+        where[pos] = dataclasses.replace(pred, column=new_ref)
+        stmt = dataclasses.replace(stmt, where=tuple(where))
     return format_statement(stmt)
 
 

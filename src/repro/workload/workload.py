@@ -40,6 +40,17 @@ class Workload:
 
     # -- basic container behaviour -------------------------------------------------
 
+    def __getstate__(self) -> dict:
+        # The template-vector cache is derived data keyed by frozensets,
+        # whose pickle byte order is hash-randomized — persisting it
+        # would make otherwise-equal checkpoints differ byte-wise (and
+        # bloat them).  Recomputed on demand after unpickling.
+        return {"queries": self.queries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.queries = state["queries"]
+        self._vectors = {}
+
     def __len__(self) -> int:
         return len(self.queries)
 

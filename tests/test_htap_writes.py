@@ -1,0 +1,592 @@
+"""Mixed read/write workloads: DML round-trips, write-aware costing
+bit-identity, the HTAP/OLTP/ECOMMERCE families, and the long-stream
+drift fixes (S2 progress anchoring, archive retention, bounded monitor
+logs).
+
+The kernel contract extends unchanged to writes: exact agreement with
+the scalar cost models — tolerance zero, on all three substrates — for
+base costs, design costs, candidate matrices, and the batched design
+sweep, now over workloads that mix SELECTs with INSERT/UPDATE/DELETE.
+"""
+
+from __future__ import annotations
+
+import pickle
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.costing.kernel import kernel_for
+from repro.costing.service import CostEvaluationService
+from repro.designers.base import ColumnarAdapter, RowstoreAdapter, SamplesAdapter
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.greedy import evaluate_candidates
+from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+from repro.designers.samples_nominal import SamplesNominalDesigner
+from repro.engine.optimizer import ColumnarCostModel
+from repro.harness.experiments import ExperimentContext, ExperimentScale
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+from repro.rowstore.optimizer import RowstoreCostModel
+from repro.samples.optimizer import SamplesCostModel
+from repro.serve.config import ServeConfig
+from repro.sql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.sql.formatter import format_statement
+from repro.sql.parser import ParseError, parse
+from repro.workload.distance import WorkloadDistance
+from repro.workload.families import ecommerce_profile, htap_profile, oltp_profile
+from repro.workload.generator import TraceGenerator, build_star_schema, s2_profile
+from repro.workload.monitor import WorkloadMonitor
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+SUBSTRATES = ("columnar", "rowstore", "samples")
+
+
+@lru_cache(maxsize=1)
+def _environment():
+    """A small star schema plus a pool of distinct mixed-DML queries."""
+    schema, roles = build_star_schema(
+        fact_tables=2,
+        fact_rows=200_000,
+        fact_attributes=10,
+        legacy_tables=2,
+        legacy_columns=3,
+        seed=7,
+    )
+    profile = htap_profile(queries_per_day=8, topic_count=2, templates_per_topic=3)
+    trace = TraceGenerator(schema, roles, profile, seed=9).generate(days=30)
+    sqls = list(dict.fromkeys(q.sql for q in trace))[:14]
+    kinds = {type(parse(sql)) for sql in sqls}
+    assert SelectStatement in kinds, "pool must mix reads with writes"
+    assert kinds - {SelectStatement}, "pool must contain at least one write"
+    return schema, sqls
+
+
+@lru_cache(maxsize=None)
+def _substrate(name: str):
+    """(cost_model, candidate structures, profiles) per engine."""
+    schema, sqls = _environment()
+    if name == "columnar":
+        model = ColumnarCostModel(schema)
+        nominal = ColumnarNominalDesigner(ColumnarAdapter(model))
+    elif name == "rowstore":
+        model = RowstoreCostModel(schema)
+        nominal = RowstoreNominalDesigner(RowstoreAdapter(model))
+    else:
+        model = SamplesCostModel(schema)
+        nominal = SamplesNominalDesigner(SamplesAdapter(model))
+    candidates = nominal.generate_candidates(Workload.from_sql(sqls))[:10]
+    assert candidates, "the mixed pool must still yield read candidates"
+    profiles = [model.profile(sql) for sql in sqls]
+    return model, candidates, profiles
+
+
+def _adapter(model):
+    """A fresh adapter (own service, own caches) over a shared model."""
+    service = CostEvaluationService(model)
+    if isinstance(model, ColumnarCostModel):
+        return ColumnarAdapter(model, costing=service)
+    if isinstance(model, RowstoreCostModel):
+        return RowstoreAdapter(model, costing=service)
+    return SamplesAdapter(model, costing=service)
+
+
+# -- DML round-trips ---------------------------------------------------------------
+
+
+DML_STATEMENTS = [
+    ("INSERT INTO fact_0 (a, b) VALUES (1, 2)", InsertStatement),
+    ("INSERT INTO fact_0 (a, b) VALUES (1, 2), (3, 4), (5, 6)", InsertStatement),
+    ("UPDATE fact_0 SET m = 3.5 WHERE a = 1", UpdateStatement),
+    ("UPDATE fact_0 SET m = 1, n = 2 WHERE a BETWEEN 3 AND 9", UpdateStatement),
+    ("UPDATE fact_0 SET m = 0", UpdateStatement),
+    ("DELETE FROM fact_0 WHERE a = 1 AND b BETWEEN 2 AND 4", DeleteStatement),
+    ("DELETE FROM fact_0", DeleteStatement),
+]
+
+MALFORMED_DML = [
+    "INSERT INTO",
+    "INSERT INTO fact_0 VALUES (1)",
+    "INSERT INTO fact_0 (a) VALUES",
+    "INSERT INTO fact_0 (a, b) VALUES (1)",
+    "UPDATE fact_0 SET",
+    "UPDATE SET a = 1",
+    "UPDATE fact_0 SET a = 1 WHERE",
+    "DELETE FROM",
+    "DELETE fact_0 WHERE a = 1",
+]
+
+
+class TestDMLRoundTrip:
+    @pytest.mark.parametrize("sql,kind", DML_STATEMENTS)
+    def test_parse_format_parse_is_identity(self, sql, kind):
+        stmt = parse(sql)
+        assert isinstance(stmt, kind)
+        assert parse(format_statement(stmt)) == stmt
+
+    @pytest.mark.parametrize("sql", MALFORMED_DML)
+    def test_malformed_dml_raises_parse_error(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_generated_writes_round_trip(self):
+        """Every generator-emitted statement survives parse → format → parse."""
+        _, sqls = _environment()
+        for sql in sqls:
+            stmt = parse(sql)
+            assert parse(format_statement(stmt)) == stmt
+
+
+# -- write-aware scalar cost models -----------------------------------------------
+
+
+class TestWriteProfiles:
+    @pytest.mark.parametrize("substrate", SUBSTRATES)
+    def test_write_profiles_flagged(self, substrate):
+        model, _, profiles = _substrate(substrate)
+        kinds = {p.statement_kind for p in profiles}
+        assert "select" in kinds and kinds - {"select"}
+        for p in profiles:
+            assert p.is_write == (p.statement_kind != "select")
+            if p.is_write:
+                assert p.affected_rows >= 1
+
+    @pytest.mark.parametrize("substrate", SUBSTRATES)
+    def test_maintenance_charges_touching_structures(self, substrate):
+        """INSERTs (no locate path) cost strictly more under any touching
+        structure; off-table structures never change a write's cost.
+        UPDATE/DELETE may get *cheaper* under a same-table structure (the
+        locate scan uses it), so strictness is only asserted for inserts."""
+        model, candidates, profiles = _substrate(substrate)
+        adapter = _adapter(model)
+        writes = [p for p in profiles if p.is_write]
+        assert writes
+        empty = adapter.make_design([])
+        charged = 0
+        for profile in writes:
+            base = model.query_cost(profile, empty)
+            for candidate in candidates:
+                single = adapter.make_design([candidate])
+                cost = model.query_cost(profile, single)
+                if all(candidate.table != t.table for t in profile.tables):
+                    assert cost == base, (profile.statement_kind, candidate)
+                elif profile.statement_kind == "insert" and model.write_touches(
+                    profile, candidate
+                ):
+                    assert cost > base, (profile.statement_kind, candidate)
+                    charged += 1
+        assert charged > 0, "pool must exercise the maintenance charge"
+
+
+# -- kernel bit-identity on mixed workloads ---------------------------------------
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    substrate=st.sampled_from(SUBSTRATES),
+    mask=st.integers(0, 1023),
+    q_mask=st.integers(1, (1 << 14) - 1),
+)
+def test_kernel_write_costs_match_scalar_exactly(substrate, mask, q_mask):
+    """``base_costs``/``design_costs`` equal the scalar model bit-for-bit
+    on workloads mixing reads and writes."""
+    model, candidates, profiles = _substrate(substrate)
+    adapter = _adapter(model)
+    kernel = kernel_for(model)
+    assert kernel is not None
+    chosen = [p for i, p in enumerate(profiles) if q_mask & (1 << i)]
+    structures = [c for i, c in enumerate(candidates) if mask & (1 << i)]
+    batch = kernel.compile(chosen, structures)
+
+    empty = adapter.make_design([])
+    design = adapter.make_design(structures)
+    assert batch.base_costs().tolist() == [model.query_cost(p, empty) for p in chosen]
+    assert batch.design_costs().tolist() == [
+        model.query_cost(p, design) for p in chosen
+    ]
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(substrate=st.sampled_from(SUBSTRATES), q_mask=st.integers(1, (1 << 14) - 1))
+def test_kernel_write_candidate_matrix_matches_scalar(substrate, q_mask):
+    """Candidate cells for writes are priced (maintenance), never
+    unservable, and equal ``query_cost`` under the singleton design."""
+    model, candidates, profiles = _substrate(substrate)
+    adapter = _adapter(model)
+    batch = kernel_for(model).compile(
+        [p for i, p in enumerate(profiles) if q_mask & (1 << i)], candidates
+    )
+    chosen = [p for i, p in enumerate(profiles) if q_mask & (1 << i)]
+
+    price, unservable = batch.candidate_frame()
+    base = batch.base_costs()
+    matrix = np.where(unservable, np.inf, np.broadcast_to(base, price.shape))
+    matrix = np.where(price, batch.candidate_costs(), matrix)
+
+    for c, candidate in enumerate(candidates):
+        single = adapter.make_design([candidate])
+        for q, profile in enumerate(chosen):
+            if not profile.is_write:
+                continue
+            assert not unservable[c, q]
+            if all(candidate.table != t.table for t in profile.tables):
+                assert matrix[c, q] == base[q]
+            else:
+                assert matrix[c, q] == model.query_cost(profile, single)
+
+
+@pytest.mark.parametrize("substrate", SUBSTRATES)
+def test_evaluate_candidates_mixed_kernel_equals_scalar(substrate):
+    """``designers.greedy.evaluate_candidates`` returns the same arrays on
+    a mixed workload whether the service dispatches the kernel or not."""
+    model, candidates, _ = _substrate(substrate)
+    _, sqls = _environment()
+    workload = Workload.from_sql(sqls)
+
+    with_kernel = _adapter(model)
+    evaluation = evaluate_candidates(with_kernel, workload, candidates)
+
+    forced_scalar = _adapter(model)
+    forced_scalar.costing.kernel = None
+    reference = evaluate_candidates(forced_scalar, workload, candidates)
+
+    assert np.array_equal(evaluation.base_costs, reference.base_costs)
+    assert np.array_equal(evaluation.matrix, reference.matrix)
+    assert with_kernel.costing.stats.write_pairs_priced > 0
+    assert forced_scalar.costing.stats.write_pairs_priced > 0
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    substrate=st.sampled_from(SUBSTRATES),
+    masks=st.lists(st.integers(0, 1023), min_size=1, max_size=4),
+)
+def test_workload_costs_batch_mixed_matches_sequential(substrate, masks):
+    """The batched design sweep (arena + delta re-costing) agrees with the
+    scalar ``workload_cost`` per design on a mixed workload."""
+    model, candidates, _ = _substrate(substrate)
+    _, sqls = _environment()
+    workload = Workload.from_sql(sqls)
+    batched = _adapter(model)
+    reference = _adapter(model)
+    reference.costing.kernel = None
+
+    designs = [
+        batched.make_design([c for i, c in enumerate(candidates) if m & (1 << i)])
+        for m in masks
+    ]
+    designs.append(batched.make_design([]))
+    reports = batched.workload_costs_batch(designs, workload)
+    for design, report in zip(designs, reports):
+        expected = reference.costing.workload_cost(workload, design)
+        assert report.per_query_ms == expected.per_query_ms
+
+
+# -- write-mix determinism across backends ----------------------------------------
+
+
+MICRO = ExperimentScale(
+    days=56,
+    window_days=28,
+    queries_per_day=4,
+    n_samples=2,
+    iterations=1,
+    seed=2,
+    legacy_tables=2,
+    max_transitions=1,
+    skip_transitions=1,
+)
+
+
+class TestWriteMixDeterminism:
+    def test_htap_trace_deterministic_given_seed(self):
+        schema, roles = build_star_schema(
+            fact_tables=2,
+            fact_rows=100_000,
+            fact_attributes=8,
+            legacy_tables=2,
+            legacy_columns=3,
+            seed=5,
+        )
+        profile = ecommerce_profile(queries_per_day=6, topic_count=2)
+        a = TraceGenerator(schema, roles, profile, seed=4).generate(days=30)
+        b = TraceGenerator(schema, roles, profile, seed=4).generate(days=30)
+        assert [(q.sql, q.timestamp) for q in a] == [(q.sql, q.timestamp) for q in b]
+
+    def test_htap_costing_identical_across_backends(self):
+        """The same HTAP window prices identically on serial, thread, and
+        process backends (the PR-5 bit-identity contract extends to
+        writes)."""
+
+        def fingerprint(backend):
+            context = ExperimentContext(MICRO)
+            adapter = context.columnar_adapter(backend)
+            windows = context.trace_windows("HTAP")
+            window = windows[-1]
+            assert any(
+                adapter.profile(q.sql).is_write for q in window
+            ), "HTAP window must contain writes"
+            nominal = ColumnarNominalDesigner(adapter)
+            candidates = nominal.generate_candidates(window)
+            evaluation = evaluate_candidates(adapter, window, candidates)
+            design = nominal.design(window)
+            report = adapter.costing.workload_cost(window, design)
+            return (
+                evaluation.base_costs.tolist(),
+                evaluation.matrix.tolist(),
+                sorted(str(s) for s in design),
+                report.per_query_ms,
+            )
+
+        reference = fingerprint(SerialBackend())
+        with ThreadBackend(jobs=2) as threads:
+            assert fingerprint(threads) == reference
+        with ProcessBackend(jobs=2) as processes:
+            assert fingerprint(processes) == reference
+
+
+# -- S2 progress anchoring (bugfix 1) ---------------------------------------------
+
+
+class TestChunkedGeneration:
+    def test_s2_chunked_equals_single_call(self, tiny_star):
+        schema, roles = tiny_star
+        profile = s2_profile(queries_per_day=4, topic_count=2, templates_per_topic=2)
+        single = TraceGenerator(schema, roles, profile, seed=6).generate(days=60)
+        chunked_gen = TraceGenerator(
+            schema, roles, profile, seed=6, total_days=60
+        )
+        chunked = []
+        for chunk in range(6):
+            chunked.extend(chunked_gen.generate(days=10, start_day=chunk * 10.0))
+        assert [(q.sql, q.timestamp) for q in chunked] == [
+            (q.sql, q.timestamp) for q in single
+        ]
+
+    def test_progress_anchored_to_overall_period(self, tiny_star):
+        """The churn ramp must not restart from ``lo`` on every call: the
+        later chunks of a chunked run see late-ramp progress."""
+        schema, roles = tiny_star
+        profile = s2_profile(queries_per_day=4, topic_count=2, templates_per_topic=2)
+        gen = TraceGenerator(schema, roles, profile, seed=6, total_days=60)
+        for chunk in range(6):
+            gen.generate(days=10, start_day=chunk * 10.0)
+        assert gen._progress == pytest.approx(1.0)
+
+
+# -- archive retention (bugfix 2) -------------------------------------------------
+
+
+class TestArchiveRetention:
+    def test_archive_cap_bounds_every_topic(self, tiny_star):
+        schema, roles = tiny_star
+        profile = htap_profile(
+            queries_per_day=4,
+            topic_count=3,
+            templates_per_topic=3,
+            archive_cap=16,
+        )
+        gen = TraceGenerator(schema, roles, profile, seed=8)
+        gen.generate(days=400)
+        assert all(len(archive) <= 16 for archive in gen._archive)
+
+    def test_retention_horizon_bounds_unbounded_cap(self, tiny_star):
+        """Even with ``archive_cap=None`` the time horizon prunes: archive
+        sizes stop growing linearly with stream length."""
+        schema, roles = tiny_star
+        profile = htap_profile(
+            queries_per_day=4,
+            topic_count=3,
+            templates_per_topic=3,
+            archive_cap=None,
+            revival_min_age_days=5.0,
+            revival_halflife_days=5.0,
+        )
+        gen = TraceGenerator(schema, roles, profile, seed=8)
+        gen.generate(days=600)
+        horizon = 5.0 + 6.0 * 5.0
+        for archive in gen._archive:
+            assert all(gen._day - died <= horizon for _, died in archive)
+
+    def test_non_binding_cap_is_byte_identical(self, tiny_star):
+        """When neither the cap nor the horizon binds, the trace is
+        unchanged — pruning draws no randomness."""
+        schema, roles = tiny_star
+        base = htap_profile(queries_per_day=4, topic_count=2, archive_cap=None)
+        capped = htap_profile(queries_per_day=4, topic_count=2, archive_cap=10**6)
+        a = TraceGenerator(schema, roles, base, seed=8).generate(days=40)
+        b = TraceGenerator(schema, roles, capped, seed=8).generate(days=40)
+        assert [(q.sql, q.timestamp) for q in a] == [(q.sql, q.timestamp) for q in b]
+
+
+# -- bounded monitor logs (bugfix 3) ----------------------------------------------
+
+
+N_DIMS = 16
+STABLE = [f"t.c{i}" for i in range(3)]
+DRIFTED = [f"t.c{i}" for i in range(8, 11)]
+
+
+def _mq(columns, day: float) -> WorkloadQuery:
+    return WorkloadQuery(sql=f"SELECT {', '.join(columns)} FROM t", timestamp=day)
+
+
+def _monitor(max_log_entries=None) -> WorkloadMonitor:
+    return WorkloadMonitor(
+        WorkloadDistance(N_DIMS),
+        threshold=0.005,
+        window_days=10,
+        measure_every_days=1.0,
+        refractory_days=5.0,
+        max_log_entries=max_log_entries,
+    )
+
+
+def _long_stream(days: int, start: float = 0.0):
+    """Alternating stable/drifted phases — steady readings, many alarms."""
+    for d in range(days):
+        phase = STABLE if (d // 20) % 2 == 0 else DRIFTED
+        yield _mq(phase, start + float(d))
+
+
+class TestBoundedMonitor:
+    def test_logs_bounded_totals_exact(self):
+        bounded = _monitor(max_log_entries=32)
+        unbounded = _monitor()
+        for query in _long_stream(400):
+            bounded.observe(query)
+            unbounded.observe(query)
+        bounded.rebase()
+        unbounded.rebase()
+        b_alarms = bounded.observe_many(_long_stream(400, start=400.0))
+        u_alarms = unbounded.observe_many(_long_stream(400, start=400.0))
+        assert len(bounded.readings) <= 32 and len(bounded.alarms) <= 32
+        assert [(a.at_day, a.distance) for a in b_alarms] == [
+            (a.at_day, a.distance) for a in u_alarms
+        ]
+        assert bounded.readings_total == len(unbounded.readings)
+        assert bounded.alarms_total == len(unbounded.alarms)
+
+    def test_checkpoint_size_bounded_over_long_stream(self):
+        bounded = _monitor(max_log_entries=32)
+        sizes = []
+        stream = list(_long_stream(600))
+        bounded.observe_many(stream[:10])
+        bounded.rebase()
+        for start in (10, 300):
+            bounded.observe_many(stream[start : start + 290])
+            sizes.append(len(pickle.dumps(bounded.state())))
+        # Second half adds ~300 readings; the bounded snapshot must not
+        # grow with them (the window itself is already time-bounded).
+        assert sizes[1] <= sizes[0] * 1.05
+
+    def test_kill_resume_equivalent_to_uninterrupted(self):
+        stream = list(_long_stream(500))
+        uninterrupted = _monitor(max_log_entries=32)
+        uninterrupted.observe_many(stream[:30])
+        uninterrupted.rebase()
+        alarms_a = uninterrupted.observe_many(stream[30:])
+
+        killed = _monitor(max_log_entries=32)
+        killed.observe_many(stream[:30])
+        killed.rebase()
+        alarms_b = killed.observe_many(stream[30:250])
+        snapshot = pickle.dumps(killed.state())
+        resumed = _monitor(max_log_entries=32)
+        resumed.restore(pickle.loads(snapshot))
+        alarms_b += resumed.observe_many(stream[250:])
+
+        assert [(a.at_day, a.distance) for a in alarms_a] == [
+            (a.at_day, a.distance) for a in alarms_b
+        ]
+        assert resumed.readings_total == uninterrupted.readings_total
+        assert resumed.alarms_total == uninterrupted.alarms_total
+        assert pickle.dumps(resumed.state()) == pickle.dumps(uninterrupted.state())
+
+    def test_old_checkpoints_restore_without_totals(self):
+        monitor = _monitor()
+        monitor.observe_many(_long_stream(50))
+        monitor.rebase()
+        monitor.observe_many(_mq(DRIFTED, 50.0 + d) for d in range(20))
+        state = monitor.state()
+        del state["readings_total"], state["alarms_total"]
+        legacy = _monitor()
+        legacy.restore(state)
+        assert legacy.readings_total == len(legacy.readings)
+        assert legacy.alarms_total == len(legacy.alarms)
+
+    def test_workload_pickle_drops_vector_cache(self):
+        # The template-vector cache is keyed by frozensets whose pickle
+        # byte order is hash-randomized; persisting it made the byte-
+        # equality in test_kill_resume_equivalent_to_uninterrupted flake
+        # on ~1/4 of hash seeds.  The cache must not survive pickling.
+        workload = Workload([_mq(STABLE, 0.0), _mq(DRIFTED, 1.0)])
+        workload.template_vector()
+        assert workload._vectors
+        clone = pickle.loads(pickle.dumps(workload))
+        assert clone._vectors == {}
+        assert clone.template_vector() == workload.template_vector()
+
+    def test_serve_config_validates_monitor_log_limit(self):
+        assert ServeConfig().monitor_log_limit == 512
+        with pytest.raises(ValueError):
+            ServeConfig(monitor_log_limit=0)
+
+
+# -- workload families ------------------------------------------------------------
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "family,name", [(oltp_profile, "OLTP"), (ecommerce_profile, "ECOMMERCE"), (htap_profile, "HTAP")]
+    )
+    def test_family_traces_parse_and_mix(self, family, name, tiny_star):
+        schema, roles = tiny_star
+        profile = family(queries_per_day=6, topic_count=2, templates_per_topic=3)
+        assert profile.name == name
+        trace = TraceGenerator(schema, roles, profile, seed=3).generate(days=30)
+        kinds = [type(parse(q.sql)) for q in trace]
+        assert SelectStatement in kinds
+        assert any(k is not SelectStatement for k in kinds)
+
+    def test_query_distribution_orders_write_shares(self, tiny_star):
+        schema, roles = tiny_star
+
+        def write_share(family):
+            profile = family(queries_per_day=8, topic_count=2, templates_per_topic=3)
+            trace = TraceGenerator(schema, roles, profile, seed=3).generate(days=40)
+            writes = sum(
+                1 for q in trace if not isinstance(parse(q.sql), SelectStatement)
+            )
+            return writes / len(trace)
+
+        assert write_share(oltp_profile) > write_share(htap_profile) > 0
+
+    def test_ecommerce_bursts_vary_daily_mix(self, tiny_star):
+        schema, roles = tiny_star
+        profile = ecommerce_profile(
+            queries_per_day=8, topic_count=2, templates_per_topic=3
+        )
+        trace = TraceGenerator(schema, roles, profile, seed=3).generate(days=60)
+        shares = {}
+        for q in trace:
+            day = int(q.timestamp)
+            total, writes = shares.get(day, (0, 0))
+            is_write = not isinstance(parse(q.sql), SelectStatement)
+            shares[day] = (total + 1, writes + int(is_write))
+        daily = [w / n for n, w in shares.values()]
+        assert max(daily) - min(daily) > 0.2, "flash/seasonal shaping must show"
+
+    def test_families_reachable_from_experiment_context(self):
+        context = ExperimentContext(MICRO)
+        for name in ("OLTP", "ECOMMERCE", "HTAP"):
+            trace = context.trace(name)
+            assert trace, name
