@@ -46,6 +46,8 @@ def run_variant(context, emit, label, **cliffguard_kwargs):
         run.mean_average_ms,
         run.mean_max_ms,
         report.query_cost_calls if report else 0,
+        report.matrix_hits if report else 0,
+        report.delta_pairs_saved if report else 0,
         report.final_alpha if report else 0.0,
     )
 
@@ -70,6 +72,8 @@ def test_ablation_worst_neighbor_selection(benchmark, context, emit):
                 "Avg latency (ms)",
                 "Max latency (ms)",
                 "Cost calls",
+                "Matrix hits",
+                "Delta saved",
                 "Final α",
             ],
             [[k, *v] for k, v in results.items()],
@@ -101,6 +105,8 @@ def test_ablation_line_search(benchmark, context, emit):
                 "Avg latency (ms)",
                 "Max latency (ms)",
                 "Cost calls",
+                "Matrix hits",
+                "Delta saved",
                 "Final α",
             ],
             [[k, *v] for k, v in results.items()],
@@ -127,6 +133,8 @@ def test_ablation_keep_base_workload(benchmark, context, emit):
                 "Avg latency (ms)",
                 "Max latency (ms)",
                 "Cost calls",
+                "Matrix hits",
+                "Delta saved",
                 "Final α",
             ],
             [[k, *v] for k, v in results.items()],

@@ -235,7 +235,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"({report.raw_cost_model_calls} raw), "
             f"final α = {report.final_alpha:g}, "
             f"backend = {report.backend} "
-            f"({report.eval_wall_seconds:.2f}s costing)"
+            f"({report.eval_wall_seconds:.2f}s costing, "
+            f"{report.nominal_wall_seconds:.2f}s nominal)"
+        )
+        print(
+            f"design-stream reuse: {report.matrix_hits} matrix hits, "
+            f"{report.matrix_pairs_priced} matrix pairs priced, "
+            f"{report.delta_pairs_saved} delta pairs saved"
         )
     print()
     print(format_metrics(get_metrics(), title="Metrics registry"))

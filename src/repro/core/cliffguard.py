@@ -23,7 +23,9 @@ Defaults mirror the paper's Section 6.1: ``n = 20`` samples, 5 iterations,
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.costing.service import workload_fingerprint
 from repro.designers.base import DesignAdapter, Designer
@@ -63,6 +65,31 @@ class CliffGuardReport:
     backend: str = "serial"
     #: Wall-clock seconds spent inside cost evaluation during this run.
     eval_wall_seconds: float = 0.0
+    #: (candidate, query) cells the candidate-matrix cache served warm
+    #: during this run's nominal-designer calls.
+    matrix_hits: int = 0
+    #: (candidate, query) cells the kernel actually priced into matrix
+    #: columns during this run.
+    matrix_pairs_priced: int = 0
+    #: (design, query) pairs the delta neighborhood path copied from the
+    #: incumbent design instead of re-pricing.
+    delta_pairs_saved: int = 0
+    #: Wall-clock seconds spent inside the nominal designer's ``design``
+    #: calls (the candidate generation + pricing + greedy selection the
+    #: matrix cache accelerates).
+    nominal_wall_seconds: float = 0.0
+
+    #: Fields a resumed run may legitimately report differently from the
+    #: uninterrupted run: wall-clock times, plus every counter derived
+    #: from non-exported cache state (the matrix cache and the delta
+    #: path are rebuilt cold after a resume; see docs/state.md).
+    RESUME_EXEMPT_FIELDS: ClassVar[tuple[str, ...]] = (
+        "eval_wall_seconds",
+        "matrix_hits",
+        "matrix_pairs_priced",
+        "delta_pairs_saved",
+        "nominal_wall_seconds",
+    )
 
 
 class CliffGuard(Designer):
@@ -128,16 +155,21 @@ class CliffGuard(Designer):
     # -- neighborhood machinery ----------------------------------------------------
 
     def _neighborhood_costs(
-        self, neighborhood: list[Workload], design
+        self, neighborhood: list[Workload], design, reference=None
     ) -> list[float]:
         """f(W_i, D) for every sampled neighbor (average latency).
 
         Evaluated through the adapter's batched neighborhood API: the
         neighbors overwhelmingly share queries (they come from the same
         history pool), so each distinct query is costed once per design
-        instead of once per neighbor.
+        instead of once per neighbor.  ``reference`` (the incumbent
+        design when evaluating a candidate move) lets the service
+        re-price only the queries the design diff can touch — results
+        stay bit-identical either way.
         """
-        reports = self.adapter.evaluate_neighborhood([design], neighborhood)[0]
+        reports = self.adapter.evaluate_neighborhood(
+            [design], neighborhood, reference=reference
+        )[0]
         return [report.average_ms for report in reports]
 
     def _worst_neighbors(
@@ -174,6 +206,13 @@ class CliffGuard(Designer):
         self.last_report = report
         service = getattr(self.adapter, "costing", None)
         baseline = service.stats.snapshot() if service is not None else None
+        # Arena/matrix counters are derived state (never checkpointed), so
+        # their baseline is taken fresh on every call — resumed runs
+        # legitimately report different matrix/delta numbers (see
+        # CliffGuardReport.RESUME_EXEMPT_FIELDS).
+        arena_baseline = (
+            service.arena_stats.snapshot() if service is not None else None
+        )
         t = tracer()
         ckpt = self.checkpointer
         key = None
@@ -228,11 +267,15 @@ class CliffGuard(Designer):
                     queries=len(workload),
                 )
 
+            nominal_started = time.perf_counter()
             design = self.nominal.design(workload)  # Line 1: initial nominal design
+            report.nominal_wall_seconds += time.perf_counter() - nominal_started
             report.designer_calls += 1
             if self.gamma == 0 or self.max_iterations == 0 or not workload:
                 # Γ = 0 degenerates to the nominal design by definition.
-                self._finish(report, service, baseline, self.initial_alpha)
+                self._finish(
+                    report, service, baseline, self.initial_alpha, arena_baseline
+                )
                 return design
 
             neighborhood = self.sampler.sample(workload, self.gamma, self.n_samples)
@@ -291,9 +334,16 @@ class CliffGuard(Designer):
                     moved_queries=len(moved),
                     alpha=alpha,
                 )
+            nominal_started = time.perf_counter()
             candidate = self.nominal.design(moved)
+            report.nominal_wall_seconds += time.perf_counter() - nominal_started
             report.designer_calls += 1
-            candidate_costs = self._neighborhood_costs(neighborhood, candidate)
+            # The incumbent's costs are already cached for this
+            # neighborhood, so the candidate evaluation delta-prices only
+            # the queries the design diff can touch (bit-identical).
+            candidate_costs = self._neighborhood_costs(
+                neighborhood, candidate, reference=design
+            )
             candidate_worst = max(candidate_costs) if candidate_costs else 0.0
             if candidate_worst < worst_case:
                 design = candidate
@@ -329,11 +379,16 @@ class CliffGuard(Designer):
             checkpoint(self.max_iterations if stop else report.iterations)
             if stop:
                 break
-        self._finish(report, service, baseline, alpha)
+        self._finish(report, service, baseline, alpha, arena_baseline)
         return design
 
     def _finish(
-        self, report: CliffGuardReport, service, baseline, alpha: float
+        self,
+        report: CliffGuardReport,
+        service,
+        baseline,
+        alpha: float,
+        arena_baseline=None,
     ) -> None:
         """Record designer effort (cost-call counters) and the final α."""
         report.final_alpha = alpha
@@ -347,6 +402,11 @@ class CliffGuard(Designer):
             report.query_cost_calls = delta.query_requests + delta.dedup_saved
             report.raw_cost_model_calls = delta.raw_model_calls
             report.cache_hits = delta.query_hits
+        if service is not None and arena_baseline is not None:
+            arena_delta = service.arena_stats.since(arena_baseline)
+            report.matrix_hits = arena_delta.matrix_hits
+            report.matrix_pairs_priced = arena_delta.matrix_pairs_priced
+            report.delta_pairs_saved = arena_delta.delta_pairs_saved
         t = tracer()
         if t.enabled:
             t.emit(

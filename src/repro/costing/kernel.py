@@ -334,6 +334,19 @@ def _delta_design_costs(batch, members, changed_row: int, prev_costs) -> np.ndar
     return out
 
 
+def affected_union(batch) -> np.ndarray:
+    """(Q,) bool: queries whose cost can depend on *any* of the bound
+    batch's structures — the OR of ``affected_queries`` over every
+    structure row.  This is the multi-structure generalisation the
+    design-diff delta path needs: a design step that adds and removes
+    several structures can only move the costs inside this mask.
+    """
+    mask = np.zeros(batch.query_count, dtype=bool)
+    for row in range(batch.structure_count):
+        mask |= np.asarray(batch.affected_queries(row), dtype=bool)
+    return mask
+
+
 # -- columnar ---------------------------------------------------------------------
 
 

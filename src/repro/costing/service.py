@@ -44,11 +44,12 @@ import time
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.costing.kernel import kernel_for
+from repro.costing.kernel import affected_union, kernel_for
 from repro.costing.report import WorkloadCostReport
 from repro.obs import MetricsRegistry, get_metrics, tracer
 from repro.parallel.backends import (
@@ -83,6 +84,11 @@ DEFAULT_MAX_ARENAS = 8
 #: Bound on the module-level identity memos for workload/design
 #: fingerprints (see :class:`_IdentityMemo`).
 DEFAULT_MAX_FINGERPRINT_MEMO = 4_096
+#: Bound on the candidate-matrix cache, in (candidate, query) cells
+#: across every resident entry.  Sized for a designer-comparison run
+#: (~1-2k candidates × ~500 distinct queries); the shrink policy drops
+#: whole least-recently-used columns, never partial ones.
+DEFAULT_MAX_MATRIX_CELLS = 2_000_000
 
 
 @runtime_checkable
@@ -345,6 +351,37 @@ class ArenaStats:
     delta_queries_saved: int = 0
     #: Kernel batches fanned out to workers via shared memory.
     shm_fanouts: int = 0
+    #: (candidate, query) cells served from the candidate-matrix cache
+    #: instead of being re-priced by the kernel.
+    matrix_hits: int = 0
+    #: (candidate, query) cells the kernel actually priced into matrix
+    #: columns (entry space: extension tails price ahead of requests).
+    matrix_pairs_priced: int = 0
+    #: Matrix entries grown in place to cover new SQL (arena extension
+    #: instead of a from-scratch recompile).
+    matrix_extends: int = 0
+    #: Matrix columns dropped by the cell-budget LRU bound.
+    matrix_evictions: int = 0
+    #: Neighborhood evaluations priced via design-diff delta re-costing.
+    neighborhood_deltas: int = 0
+    #: (design, query) pairs copied verbatim from the incumbent design's
+    #: cached costs instead of being re-priced (delta neighborhood path).
+    delta_pairs_saved: int = 0
+
+    def snapshot(self) -> "ArenaStats":
+        """An independent copy (for before/after deltas)."""
+        return ArenaStats(
+            **{f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        )
+
+    def since(self, earlier: "ArenaStats") -> "ArenaStats":
+        """The delta between this snapshot and an ``earlier`` one."""
+        return ArenaStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in dataclass_fields(self)
+            }
+        )
 
     def rows(self) -> list[list[object]]:
         """(label, value) rows for the reporting tables."""
@@ -356,7 +393,59 @@ class ArenaStats:
             ["delta re-costs", self.delta_recosts],
             ["delta queries saved", self.delta_queries_saved],
             ["shm fan-outs", self.shm_fanouts],
+            ["matrix cell hits", self.matrix_hits],
+            ["matrix cells priced", self.matrix_pairs_priced],
+            ["matrix extensions", self.matrix_extends],
+            ["matrix column evictions", self.matrix_evictions],
+            ["neighborhood delta re-costs", self.neighborhood_deltas],
+            ["delta pairs saved", self.delta_pairs_saved],
         ]
+
+
+# -- candidate-matrix cache -------------------------------------------------------
+
+
+@dataclass
+class _MatrixColumn:
+    """One priced candidate column over a matrix entry's query rows.
+
+    ``values[q]`` is the kernel's single-structure cost where
+    ``price[q]`` is set and ``0.0`` elsewhere; ``price``/``unservable``
+    are the :meth:`candidate_frame` masks for this candidate.  A column
+    priced before its entry was extended is shorter than the entry —
+    its tail is priced on the next request that needs it.
+    """
+
+    values: np.ndarray
+    price: np.ndarray
+    unservable: np.ndarray
+
+
+@dataclass
+class _MatrixEntry:
+    """Cached candidate-matrix state for one distinct-SQL tuple.
+
+    Derived state, exactly like the arenas: entries hold their own
+    arena reference (so an LRU-evicted arena stays alive while its
+    matrix does), are never exported by
+    :meth:`CostEvaluationService.export_state`, and are dropped by
+    ``clear``/``invalidate_design``.
+    """
+
+    key: str
+    sqls: tuple[str, ...]
+    profiles: list
+    arena: object
+    #: sql -> row in ``sqls`` (and in ``base`` / every full column).
+    index: dict[str, int]
+    #: (N,) empty-design costs, priced eagerly at build time.
+    base: np.ndarray
+    #: candidate fingerprint -> priced column, LRU-ordered (oldest first).
+    columns: OrderedDict[str, _MatrixColumn]
+
+    @property
+    def cells(self) -> int:
+        return sum(col.values.shape[0] for col in self.columns.values())
 
 
 # -- the service -----------------------------------------------------------------
@@ -412,6 +501,18 @@ class CostEvaluationService:
         #: workload arena, LRU-ordered (oldest first).  Derived state:
         #: never exported, rebuilt on demand after clear/resume.
         self._arenas: OrderedDict[str, object] = OrderedDict()
+        #: Candidate-matrix cache toggle: off, every ``candidate_costs``
+        #: call re-prices the full matrix (the cold-rebuild baseline).
+        #: Results and exported counters are identical either way.
+        self.matrix_cache_enabled = True
+        #: Delta neighborhood toggle: off, ``evaluate_neighborhood``
+        #: ignores its ``reference`` design and re-prices fully.
+        self.delta_neighborhood_enabled = True
+        self.max_matrix_cells = DEFAULT_MAX_MATRIX_CELLS
+        #: matrix key (digest of the distinct SQL tuple) -> cached
+        #: candidate-matrix entry, LRU-ordered (oldest first).  Derived
+        #: state: never exported, rebuilt on demand (see _MatrixEntry).
+        self._matrix: OrderedDict[str, _MatrixEntry] = OrderedDict()
         #: (design_fp, sql) -> cost, LRU-ordered (oldest first).
         self._query_cache: OrderedDict[tuple[str, str], float] = OrderedDict()
         #: (design_fp, workload_fp) -> WorkloadCostReport, LRU-ordered.
@@ -420,6 +521,11 @@ class CostEvaluationService:
         )
         #: design object -> fingerprint (designs are hashable by content).
         self._fingerprints: OrderedDict[object, str] = OrderedDict()
+        #: candidate object -> singleton-design fingerprint, by identity:
+        #: ``candidate_costs`` re-fingerprints the same candidate pool on
+        #: every designer invocation, and building + content-hashing the
+        #: one-structure design dominates a warm call.  Derived state.
+        self._single_fps = _IdentityMemo("costing.fingerprint_memo_evictions")
 
     # -- fingerprints --------------------------------------------------------------
 
@@ -507,12 +613,13 @@ class CostEvaluationService:
         deltas bit-identical to the uninterrupted run's (see
         docs/state.md).  The design-fingerprint memo is not exported:
         fingerprints are content hashes, recomputed deterministically on
-        first use.  Compiled workload arenas and :class:`ArenaStats`
-        are not exported either — arenas are derived state (pure
-        functions of the queries and the model, rebuilt on demand after
-        a resume), and folding their counters into the snapshot would
-        make a resumed run's exported stats diverge from the
-        uninterrupted run's even though every cost is identical.
+        first use.  Compiled workload arenas, the candidate-matrix
+        cache, and :class:`ArenaStats` are not exported either — all
+        three are derived state (pure functions of the queries, the
+        candidates, and the model, rebuilt on demand after a resume),
+        and folding their counters into the snapshot would make a
+        resumed run's exported stats diverge from the uninterrupted
+        run's even though every cost is identical.
         """
         return {
             "query": list(self._query_cache.items()),
@@ -538,6 +645,12 @@ class CostEvaluationService:
         return len(self._arenas)
 
     def _drop_arenas(self, reason: str) -> None:
+        # The candidate-matrix cache bakes the same model statistics into
+        # its columns as the arenas do into their arrays, so every arena
+        # invalidation drops it too (matrix entries pin their own arena
+        # reference, so an empty ``_arenas`` does not imply an empty
+        # matrix).  Matrix drops do not count as arena invalidations.
+        self._drop_matrix(reason)
         dropped = len(self._arenas)
         if not dropped:
             return
@@ -602,6 +715,155 @@ class CostEvaluationService:
             return False
         self._arena_for(unique)
         return True
+
+    # -- candidate-matrix cache --------------------------------------------------------
+
+    @property
+    def cached_matrix_columns(self) -> int:
+        return sum(len(entry.columns) for entry in self._matrix.values())
+
+    @property
+    def cached_matrix_cells(self) -> int:
+        return sum(entry.cells for entry in self._matrix.values())
+
+    def _drop_matrix(self, reason: str) -> None:
+        dropped = len(self._matrix)
+        if not dropped:
+            return
+        columns = self.cached_matrix_columns
+        self._matrix.clear()
+        t = tracer()
+        if t.enabled:
+            t.emit("matrix_evict", reason=reason, entries=dropped, columns=columns)
+
+    def _build_matrix_entry(
+        self, sqls: tuple[str, ...], profiles, store: bool = True
+    ) -> _MatrixEntry:
+        """Compile a fresh matrix entry (arena + eager base costs)."""
+        arena = self._arena_for(sqls, profiles=list(profiles))
+        # ``base_costs`` depends only on the arena's query-side arrays,
+        # so an empty bind prices it once for the entry's whole lifetime.
+        base = np.asarray(self.kernel.bind(arena, []).base_costs(), dtype=np.float64)
+        entry = _MatrixEntry(
+            key=_digest("m", *sqls),
+            sqls=sqls,
+            profiles=list(profiles),
+            arena=arena,
+            index={sql: i for i, sql in enumerate(sqls)},
+            base=base,
+            columns=OrderedDict(),
+        )
+        if store and self.matrix_cache_enabled:
+            self._matrix[entry.key] = entry
+        return entry
+
+    def _extend_matrix_entry(self, old: _MatrixEntry, sqls, profiles) -> _MatrixEntry:
+        """Grow ``old`` in place of a recompile to cover new SQL.
+
+        The arena is recompiled over the concatenated profile list —
+        access interning is first-seen, so the old rows' arrays (and
+        therefore every already-priced column value) stay bit-identical
+        — and the priced columns are carried over; their tails are
+        priced lazily by the next request that asks for them.
+        """
+        prof_of = dict(zip(sqls, profiles))
+        fresh = [sql for sql in sqls if sql not in old.index]
+        all_sqls = old.sqls + tuple(fresh)
+        del self._matrix[old.key]
+        entry = self._build_matrix_entry(
+            all_sqls, old.profiles + [prof_of[sql] for sql in fresh]
+        )
+        entry.columns.update(old.columns)
+        self.arena_stats.matrix_extends += 1
+        t = tracer()
+        if t.enabled:
+            t.emit(
+                "matrix_extend",
+                key=entry.key,
+                queries=len(all_sqls),
+                added=len(fresh),
+                columns=len(old.columns),
+            )
+        return entry
+
+    def _matrix_entry_for(self, sqls: tuple[str, ...], profiles, fps=()):
+        """``(entry, rows)`` covering ``sqls`` (``rows=None`` = identity).
+
+        Resolution order: exact key, then a resident superset entry
+        (row-mapped), then extension of the entry sharing at least half
+        the requested SQL, then a fresh build.  With the cache disabled
+        every call builds a transient entry — same pricing, same
+        counters, nothing retained.  Requests below the kernel batch
+        threshold are transient too (the :func:`beneficial_queries`
+        per-query shape): a tiny request served through a resident
+        entry would price whole entry-length columns for its fresh
+        candidates, and retaining one entry per query only bloats the
+        superset scan.
+
+        ``fps`` — the request's candidate fingerprints — gates the
+        superset and extension paths: serving a request through a
+        *wider* entry prices every fresh candidate over the entry's
+        full query axis, which only pays off when at least half the
+        requested candidates are already priced columns.  A request
+        whose candidates the entry has never seen (a designer minting
+        fresh candidates per window) builds at its own width instead.
+        """
+        if not self.matrix_cache_enabled or len(sqls) < KERNEL_MIN_BATCH:
+            return self._build_matrix_entry(sqls, profiles, store=False), None
+        key = _digest("m", *sqls)
+        entry = self._matrix.get(key)
+        if entry is not None:
+            self._matrix.move_to_end(key)
+            return entry, None
+        unique_fps = set(fps)
+
+        def _warm_enough(other: _MatrixEntry) -> bool:
+            priced = sum(1 for fp in unique_fps if fp in other.columns)
+            return 2 * priced >= len(unique_fps)
+
+        for other_key in reversed(self._matrix):
+            other = self._matrix[other_key]
+            if len(other.sqls) > len(sqls) and not _warm_enough(other):
+                continue
+            if all(sql in other.index for sql in sqls):
+                self._matrix.move_to_end(other_key)
+                rows = np.array([other.index[sql] for sql in sqls], dtype=np.intp)
+                return other, rows
+        best = None
+        best_overlap = 0
+        for other in self._matrix.values():
+            overlap = sum(1 for sql in sqls if sql in other.index)
+            if overlap > best_overlap:
+                best, best_overlap = other, overlap
+        if (
+            best is not None
+            and 2 * best_overlap >= len(sqls)
+            and unique_fps
+            and _warm_enough(best)
+        ):
+            entry = self._extend_matrix_entry(best, sqls, profiles)
+            rows = np.array([entry.index[sql] for sql in sqls], dtype=np.intp)
+            return entry, rows
+        return self._build_matrix_entry(sqls, profiles), None
+
+    def _shrink_matrix(self) -> None:
+        """Enforce the cell budget by dropping least-recently-used
+        columns (then emptied entries), oldest entry first.  The sole
+        resident entry's base is never dropped — it is almost certainly
+        the one the current design stream is using."""
+        t = tracer()
+        while self._matrix and self.cached_matrix_cells > self.max_matrix_cells:
+            key = next(iter(self._matrix))
+            entry = self._matrix[key]
+            if entry.columns:
+                entry.columns.popitem(last=False)
+                self.arena_stats.matrix_evictions += 1
+                if t.enabled:
+                    t.emit("matrix_evict", reason="lru", key=key, columns=1)
+                continue
+            if len(self._matrix) == 1:
+                break
+            del self._matrix[key]
 
     def _remember_query(self, key: tuple[str, str], cost: float) -> None:
         self._query_cache[key] = cost
@@ -701,7 +963,7 @@ class CostEvaluationService:
     # -- batched neighborhood evaluation ----------------------------------------------
 
     def evaluate_neighborhood(
-        self, designs: Sequence, workloads: Sequence
+        self, designs: Sequence, workloads: Sequence, reference=None
     ) -> list[list[WorkloadCostReport]]:
         """Cost every design × workload pair, deduplicating shared queries.
 
@@ -711,6 +973,13 @@ class CostEvaluationService:
         distinct (design, query) pair is costed exactly once no matter how
         many neighbors contain it.  Returns ``result[d][w]``, the report
         of ``workloads[w]`` under ``designs[d]``.
+
+        ``reference`` is an optional already-priced design (CliffGuard's
+        incumbent): each design's kernel fill then diffs against it and
+        re-prices only the queries the added/removed structures can
+        touch, copying the rest verbatim from the reference's cached
+        floats (see :meth:`_fill_misses_delta`).  Results and exported
+        counters are bit-identical with or without a reference.
 
         When the service was built with an execution backend (or the
         legacy ``max_workers``), distinct cache misses fan out across the
@@ -747,7 +1016,13 @@ class CostEvaluationService:
                 self.stats.dedup_saved += occurrences - len(unique)
                 self.stats.query_requests += len(unique)
                 self.stats.query_hits += len(unique) - len(misses)
-                self._fill_misses(design, design_fp, misses, context=tuple(unique))
+                self._fill_misses(
+                    design,
+                    design_fp,
+                    misses,
+                    context=tuple(unique),
+                    reference=reference,
+                )
                 reports: list[WorkloadCostReport] = []
                 for sqls, weights in per_workload:
                     costs = [
@@ -822,9 +1097,21 @@ class CostEvaluationService:
             sum(getattr(a, "nbytes", 0) for a in self._arenas.values())
         )
         registry.gauge("shm.fanouts").set(self.arena_stats.shm_fanouts)
+        registry.gauge("matrix.hits").set(self.arena_stats.matrix_hits)
+        registry.gauge("matrix.pairs_priced").set(
+            self.arena_stats.matrix_pairs_priced
+        )
+        registry.gauge("matrix.extends").set(self.arena_stats.matrix_extends)
+        registry.gauge("matrix.evictions").set(self.arena_stats.matrix_evictions)
+        registry.gauge("matrix.cached_columns").set(self.cached_matrix_columns)
+        registry.gauge("matrix.cached_cells").set(self.cached_matrix_cells)
+        registry.gauge("delta.neighborhood_recosts").set(
+            self.arena_stats.neighborhood_deltas
+        )
+        registry.gauge("delta.pairs_saved").set(self.arena_stats.delta_pairs_saved)
 
     def _fill_misses(
-        self, design, design_fp: str, misses: list[str], context=None
+        self, design, design_fp: str, misses: list[str], context=None, reference=None
     ) -> None:
         """Cost the uncached SQL texts for one design (optionally fanned
         out over the execution backend).
@@ -855,7 +1142,9 @@ class CostEvaluationService:
         self.stats.write_pairs_priced += self._count_write_sqls(misses)
         t = tracer()
         if self.kernel is not None and len(misses) >= KERNEL_MIN_BATCH:
-            self._fill_misses_kernel(design, design_fp, misses, context)
+            self._fill_misses_kernel(
+                design, design_fp, misses, context, reference=reference
+            )
             return
         if self.backend is None or len(misses) < 2:
             if t.enabled:
@@ -904,7 +1193,7 @@ class CostEvaluationService:
         return count
 
     def _fill_misses_kernel(
-        self, design, design_fp: str, misses: list[str], context=None
+        self, design, design_fp: str, misses: list[str], context=None, reference=None
     ) -> None:
         """Vectorized miss fill: one arena bind, one (or chunked) eval."""
         t = tracer()
@@ -926,6 +1215,11 @@ class CostEvaluationService:
         # alone, since every kernel op is per-query.
         unique = tuple(context) if context else tuple(misses)
         arena = self._arena_for(unique)
+        if reference is not None and self.delta_neighborhood_enabled:
+            if self._fill_misses_delta(
+                arena, unique, design, design_fp, misses, reference
+            ):
+                return
         batch = self.kernel.bind(arena, list(design))
         if t.enabled:
             t.emit(
@@ -952,6 +1246,88 @@ class CostEvaluationService:
                 pairs=len(misses),
                 structures=batch.structure_count,
             )
+
+    def _fill_misses_delta(
+        self, arena, unique, design, design_fp: str, misses: list[str], reference
+    ) -> bool:
+        """Delta miss fill against an already-priced ``reference`` design.
+
+        Diffs ``design`` against the reference, OR-masks the queries any
+        added/removed structure can touch (``affected_queries`` is
+        conservative: dimension tables and write maintenance included),
+        and re-prices only those; unaffected queries copy the
+        reference's cached floats verbatim — bit-identical, because a
+        query no changed structure can touch has the same serving set
+        and maintenance sum under both designs.  Returns False (caller
+        runs the full fill) when the designs are content-identical or
+        nothing is copyable.  Exported counters are charged as-if-cold;
+        the savings land in :class:`ArenaStats` only.  Reference reads
+        use plain ``get`` — no LRU reordering, so exported cache order
+        stays warmth-independent.
+        """
+        design_list = list(design)
+        design_set = set(design_list)
+        ref_set = set(reference)
+        changed = [s for s in design_list if s not in ref_set]
+        changed += [s for s in reference if s not in design_set]
+        if not changed:
+            return False
+        ref_fp = self.design_fingerprint(reference)
+        affected = affected_union(self.kernel.bind(arena, changed))
+        q_index = {sql: i for i, sql in enumerate(unique)}
+        copied: dict[str, float] = {}
+        need: list[str] = []
+        for sql in misses:
+            value = (
+                None
+                if affected[q_index[sql]]
+                else self._query_cache.get((ref_fp, sql))
+            )
+            if value is None:
+                need.append(sql)
+            else:
+                copied[sql] = value
+        if not copied:
+            return False
+        t = tracer()
+        costs = dict(copied)
+        if need:
+            batch = self.kernel.bind(arena, design_list)
+            if t.enabled:
+                t.emit(
+                    "kernel_bind",
+                    substrate=self.kernel.name,
+                    queries=batch.query_count,
+                    structures=batch.structure_count,
+                    words=batch.words,
+                )
+            sub = batch.take([q_index[sql] for sql in need])
+            for sql, cost in zip(need, self._batch_costs(sub)):
+                costs[sql] = float(cost)
+        for sql in misses:
+            self.stats.raw_model_calls += 1
+            self._remember_query((design_fp, sql), costs[sql])
+        self.stats.kernel_batch_calls += 1
+        self.stats.kernel_pairs_priced += len(misses)
+        self.arena_stats.neighborhood_deltas += 1
+        self.arena_stats.delta_pairs_saved += len(copied)
+        if t.enabled:
+            t.emit(
+                "neighborhood_delta",
+                substrate=self.kernel.name,
+                design=design_fp,
+                changed=len(changed),
+                priced=len(need),
+                copied=len(copied),
+            )
+            t.emit(
+                "kernel_batch",
+                substrate=self.kernel.name,
+                design=design_fp,
+                pairs=len(misses),
+                structures=len(design_list),
+            )
+        return True
 
     def _batch_costs(self, batch) -> list[float]:
         """Full-design costs of a bound batch, fanned out if configured.
@@ -1128,14 +1504,22 @@ class CostEvaluationService:
     def candidate_costs(self, profiles: Sequence, candidates: Sequence, make_design):
         """``(base_costs, matrix)`` for greedy candidate selection.
 
-        One kernel compile prices the full (candidates × queries) matrix;
-        the per-(single-structure design, query) cache is consulted first
-        and filled with every newly priced cell, so a designer re-run on
-        overlapping candidates reuses prior pricing.  Cells whose
-        candidate is unrelated to the query keep the base cost without
-        being priced, counted, or cached (an off-table structure cannot
-        change any access path); anchor-table candidates that cannot
-        serve the query are ``inf``, exactly like the scalar designer.
+        Pricing goes through the bounded candidate-matrix cache: priced
+        (candidate-fingerprint × arena) columns persist across calls, so
+        a designer re-run over an arena-resident workload prices only
+        the (query, candidate) pairs the cache has never seen — new SQL
+        extends the resident entry (and each stale column's tail) in
+        place of a recompile, new candidates price fresh columns, and a
+        fully warm call reduces to assembling cached columns.  Results
+        are bit-identical to a cold rebuild, and so is **every exported
+        counter**: priced cells are charged as-if-cold on every call —
+        the cache is derived state, invisible to checkpoints (see
+        :meth:`export_state`); its savings land in :class:`ArenaStats`
+        (``matrix_hits``) only.  Cells whose candidate is unrelated to
+        the query keep the base cost without being priced (an off-table
+        structure cannot change any access path); anchor-table
+        candidates that cannot serve the query are ``inf``, exactly
+        like the scalar designer.
         """
         if self.kernel is None:
             raise RuntimeError(
@@ -1147,22 +1531,22 @@ class CostEvaluationService:
             candidates = list(candidates)
             sqls = [p.sql for p in profiles]
             empty_fp = self.design_fingerprint(make_design([]))
-            # The arena is keyed by the query texts, so designer re-runs
-            # (greedy sweeps, replay refreshes) over the same workload
-            # reuse the compiled query-side arrays; only the candidate
-            # masks are rebuilt.  The caller's profiles seed the build.
-            arena = self._arena_for(tuple(sqls), profiles=profiles)
-            batch = self.kernel.bind(arena, candidates)
+            fps = []
+            for c in candidates:
+                fp = self._single_fps.get(c)
+                if fp is None:
+                    fp = self.design_fingerprint(make_design([c]))
+                    self._single_fps.put(c, fp)
+                fps.append(fp)
             t = tracer()
-            if t.enabled:
-                t.emit(
-                    "kernel_bind",
-                    substrate=self.kernel.name,
-                    queries=batch.query_count,
-                    structures=batch.structure_count,
-                    words=batch.words,
-                )
-            base = np.zeros(len(profiles), dtype=np.float64)
+            entry, mapped = self._matrix_entry_for(tuple(sqls), profiles, fps)
+            rows = np.arange(len(sqls), dtype=np.intp) if mapped is None else mapped
+            n_entry = len(entry.sqls)
+            # Base (empty-design) costs go through the query cache
+            # exactly as the cold path: the cache is exported state, so
+            # hits and misses depend only on its contents, never on
+            # matrix warmth.
+            base = np.zeros(len(sqls), dtype=np.float64)
             base_misses: list[int] = []
             self.stats.query_requests += len(sqls)
             for q, sql in enumerate(sqls):
@@ -1173,51 +1557,182 @@ class CostEvaluationService:
                     base[q] = cached
                 else:
                     base_misses.append(q)
-            if base_misses:
-                fresh = batch.base_costs()
-                for q in base_misses:
-                    cost = float(fresh[q])
-                    base[q] = cost
-                    self.stats.raw_model_calls += 1
-                    self._remember_query((empty_fp, sqls[q]), cost)
-            price, unservable = batch.candidate_frame()
-            matrix = np.where(unservable, np.inf, base[None, :])
-            fps = [self.design_fingerprint(make_design([c])) for c in candidates]
-            cell_misses: list[tuple[int, int]] = []
-            hits = 0
-            for c in range(len(candidates)):
-                fp = fps[c]
-                for q in np.nonzero(price[c])[0].tolist():
-                    cached = self._query_cache.get((fp, sqls[q]))
-                    if cached is not None:
-                        self._query_cache.move_to_end((fp, sqls[q]))
-                        matrix[c, q] = cached
-                        hits += 1
-                    else:
-                        cell_misses.append((c, q))
-            self.stats.query_requests += int(price.sum())
-            self.stats.query_hits += hits
-            if cell_misses:
-                numeric = batch.candidate_costs()
-                for c, q in cell_misses:
-                    cost = float(numeric[c, q])
-                    matrix[c, q] = cost
-                    self.stats.raw_model_calls += 1
-                    self._remember_query((fps[c], sqls[q]), cost)
+            for q in base_misses:
+                cost = float(entry.base[rows[q]])
+                base[q] = cost
+                self.stats.raw_model_calls += 1
+                self._remember_query((empty_fp, sqls[q]), cost)
+            first_of: dict[str, int] = {}
+            for i, fp in enumerate(fps):
+                first_of.setdefault(fp, i)
+            fresh = [fp for fp in first_of if fp not in entry.columns]
+            stale_groups: dict[int, list[str]] = {}
+            for fp in first_of:
+                column = entry.columns.get(fp)
+                if column is not None and column.values.shape[0] < n_entry:
+                    stale_groups.setdefault(column.values.shape[0], []).append(fp)
+            priced_entry_cells = 0
+            if fresh:
+                members = [candidates[first_of[fp]] for fp in fresh]
+                batch = self.kernel.bind(entry.arena, members)
+                if t.enabled:
+                    t.emit(
+                        "kernel_bind",
+                        substrate=self.kernel.name,
+                        queries=batch.query_count,
+                        structures=batch.structure_count,
+                        words=batch.words,
+                    )
+                price, unservable, numeric = self._matrix_costs(batch)
+                for j, fp in enumerate(fresh):
+                    entry.columns[fp] = _MatrixColumn(
+                        values=np.where(price[j], numeric[j], 0.0),
+                        price=np.array(price[j], dtype=bool),
+                        unservable=np.array(unservable[j], dtype=bool),
+                    )
+                    priced_entry_cells += int(price[j].sum())
+            for old_len in sorted(stale_groups):
+                # Columns priced before the entry's last extension only
+                # cover a prefix; price the missing tail rows, grouped by
+                # prefix length so each group binds once.
+                group = stale_groups[old_len]
+                members = [candidates[first_of[fp]] for fp in group]
+                batch = self.kernel.bind(entry.arena, members)
+                if t.enabled:
+                    t.emit(
+                        "kernel_bind",
+                        substrate=self.kernel.name,
+                        queries=batch.query_count,
+                        structures=batch.structure_count,
+                        words=batch.words,
+                    )
+                tail = batch.take(list(range(old_len, n_entry)))
+                price, unservable, numeric = self._matrix_costs(tail)
+                for j, fp in enumerate(group):
+                    column = entry.columns[fp]
+                    entry.columns[fp] = _MatrixColumn(
+                        values=np.concatenate(
+                            [column.values, np.where(price[j], numeric[j], 0.0)]
+                        ),
+                        price=np.concatenate([column.price, price[j]]),
+                        unservable=np.concatenate(
+                            [column.unservable, unservable[j]]
+                        ),
+                    )
+                    priced_entry_cells += int(price[j].sum())
+            for fp in first_of:
+                entry.columns.move_to_end(fp)
+            if candidates:
+                price_sub = np.stack([entry.columns[fp].price[rows] for fp in fps])
+                unserv_sub = np.stack(
+                    [entry.columns[fp].unservable[rows] for fp in fps]
+                )
+                values_sub = np.stack(
+                    [entry.columns[fp].values[rows] for fp in fps]
+                )
+                matrix = np.where(
+                    price_sub,
+                    values_sub,
+                    np.where(unserv_sub, np.inf, base[None, :]),
+                )
+            else:
+                price_sub = np.zeros((0, len(sqls)), dtype=bool)
+                matrix = np.zeros((0, len(sqls)), dtype=np.float64)
+            priced_request = int(price_sub.sum())
+            # As-if-cold accounting: every priced cell is one request and
+            # one raw evaluation on every call, whatever the matrix cache
+            # served — exported stats must not leak warmth.
+            self.stats.query_requests += priced_request
+            self.stats.raw_model_calls += priced_request
             self.stats.kernel_batch_calls += 1
-            self.stats.kernel_pairs_priced += len(base_misses) + len(cell_misses)
+            self.stats.kernel_pairs_priced += len(base_misses) + priced_request
+            is_write = np.asarray(entry.arena.is_write, dtype=bool)[rows]
             self.stats.write_pairs_priced += sum(
-                int(batch.is_write[q]) for q in base_misses
-            ) + sum(int(batch.is_write[q]) for _, q in cell_misses)
+                int(is_write[q]) for q in base_misses
+            )
+            self.stats.write_pairs_priced += int(
+                (price_sub & is_write[None, :]).sum()
+            )
+            # Derived-state savings accounting (never exported): request
+            # cells minus the cells this call actually priced.
+            new_request = 0
+            fresh_set = set(fresh)
+            stale_len = {
+                fp: old_len
+                for old_len, group in stale_groups.items()
+                for fp in group
+            }
+            counted: set[str] = set()
+            for i, fp in enumerate(fps):
+                if fp in counted:
+                    continue
+                if fp in fresh_set:
+                    new_request += int(price_sub[i].sum())
+                    counted.add(fp)
+                elif fp in stale_len:
+                    new_request += int(price_sub[i][rows >= stale_len[fp]].sum())
+                    counted.add(fp)
+            warm_cells = priced_request - new_request
+            self.arena_stats.matrix_pairs_priced += priced_entry_cells
+            self.arena_stats.matrix_hits += warm_cells
             if t.enabled:
+                if warm_cells:
+                    t.emit(
+                        "matrix_hit",
+                        key=entry.key,
+                        cells=warm_cells,
+                        candidates=len(candidates),
+                        queries=len(sqls),
+                    )
                 t.emit(
                     "kernel_batch",
                     substrate=self.kernel.name,
-                    queries=batch.query_count,
-                    structures=batch.structure_count,
-                    pairs=len(base_misses) + len(cell_misses),
+                    queries=len(sqls),
+                    structures=len(candidates),
+                    pairs=len(base_misses) + priced_request,
                 )
+            self._shrink_matrix()
             return base, matrix
+
+    def _matrix_costs(self, batch):
+        """``(price, unservable, numeric)`` for a bound candidate batch,
+        fanned out over the backend when one is attached.
+
+        Process backends ship the batch once through shared memory and
+        chunk the query axis; each worker returns its column slices and
+        the parent concatenates in chunk order — bit-identical to the
+        inline call at any worker count (every frame/cost op is
+        per-query).
+        """
+        n = batch.query_count
+        if self.backend is None or n < 2 or batch.structure_count == 0:
+            price, unservable = batch.candidate_frame()
+            return price, unservable, batch.candidate_costs()
+        chunks = contiguous_chunks(
+            list(range(n)), chunk_count(n, self.backend.jobs)
+        )
+        if isinstance(self.backend, ProcessBackend):
+            self.arena_stats.shm_fanouts += 1
+            with share_batch(batch) as handle:
+                t = tracer()
+                if t.enabled:
+                    t.emit(
+                        "shm_share",
+                        segment=handle.segment,
+                        bytes=handle.nbytes,
+                        chunks=len(chunks),
+                    )
+                per_chunk = self.backend.map(
+                    _evaluate_matrix_chunk_shm,
+                    [(handle, chunk) for chunk in chunks],
+                )
+        else:
+            tasks = [(batch.take(chunk),) for chunk in chunks]
+            per_chunk = self.backend.map(_evaluate_matrix_chunk, tasks)
+        price = np.concatenate([p for p, _, _ in per_chunk], axis=1)
+        unservable = np.concatenate([u for _, u, _ in per_chunk], axis=1)
+        numeric = np.concatenate([x for _, _, x in per_chunk], axis=1)
+        return price, unservable, numeric
 
 
 def _evaluate_kernel_chunk_shm(task) -> list[float]:
@@ -1243,6 +1758,33 @@ def _evaluate_kernel_chunk(task) -> list[float]:
     """
     (batch,) = task
     return [float(cost) for cost in batch.design_costs()]
+
+
+def _evaluate_matrix_chunk_shm(task) -> tuple:
+    """Worker body for one query-axis chunk of a candidate matrix.
+
+    Attaches the shared-memory batch, slices its chunk of the query
+    axis, and returns materialized ``(price, unservable, numeric)``
+    column slices — copies, because views into the segment do not
+    outlive the attach block.
+    """
+    handle, chunk = task
+    with attached_batch(handle) as batch:
+        sub = batch.take(chunk)
+        price, unservable = sub.candidate_frame()
+        return (
+            np.array(price, dtype=bool),
+            np.array(unservable, dtype=bool),
+            np.array(sub.candidate_costs(), dtype=np.float64),
+        )
+
+
+def _evaluate_matrix_chunk(task) -> tuple:
+    """Worker body for one pre-sliced candidate-matrix chunk (thread
+    backend: the ``batch.take`` slice ships in-process)."""
+    (batch,) = task
+    price, unservable = batch.candidate_frame()
+    return price, unservable, batch.candidate_costs()
 
 
 def _evaluate_cost_chunk(task) -> list[float]:

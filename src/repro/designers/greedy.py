@@ -126,15 +126,21 @@ def greedy_select(
     chosen: list[int] = []
     available = np.ones(len(evaluation.candidates), dtype=bool)
 
+    # benefit[c] = Σ_q w_q · max(0, current_q − matrix[c, q]).  The
+    # improvements array is materialized once and updated in place per
+    # pick, for only the queries the pick improved: a column whose
+    # ``current_q`` did not move keeps byte-identical improvements, so
+    # the dot products — and therefore the selection order — match the
+    # full rebuild exactly.
+    improvements = np.maximum(current[None, :] - matrix, 0.0)
+    improvements[~np.isfinite(improvements)] = 0.0
+
     while True:
         if max_structures is not None and len(chosen) >= max_structures:
             break
         affordable = available & (sizes <= remaining)
         if not affordable.any():
             break
-        # benefit[c] = Σ_q w_q · max(0, current_q − matrix[c, q])
-        improvements = np.maximum(current[None, :] - matrix, 0.0)
-        improvements[~np.isfinite(improvements)] = 0.0
         benefits = improvements @ weights
         benefits[~affordable] = -np.inf
         density = benefits / np.maximum(sizes, 1.0)
@@ -144,5 +150,13 @@ def greedy_select(
         chosen.append(pick)
         available[pick] = False
         remaining -= float(sizes[pick])
-        current = np.minimum(current, np.where(np.isfinite(matrix[pick]), matrix[pick], np.inf))
+        new_current = np.minimum(
+            current, np.where(np.isfinite(matrix[pick]), matrix[pick], np.inf)
+        )
+        touched = np.flatnonzero(new_current < current)
+        if touched.size:
+            delta = np.maximum(new_current[touched][None, :] - matrix[:, touched], 0.0)
+            delta[~np.isfinite(delta)] = 0.0
+            improvements[:, touched] = delta
+        current = new_current
     return [evaluation.candidates[i] for i in chosen]

@@ -113,22 +113,44 @@ class ServeOutcome:
         return self.position - len(self.priced)
 
 
-def _redesign_task(task):
-    """One background CliffGuard re-design (module-level: process task).
+#: Warm (context, adapter, nominal) stack reused across the background
+#: re-designs of one daemon (single entry — a daemon prices one
+#: (scale, engine) pair; with the process backend each worker keeps its
+#: own).  Reuse keeps the costing service's arena and candidate-matrix
+#: caches hot between window re-designs; the warm path is bit-identical
+#: to a cold stack (docs/cost_model.md, "Design-stream reuse"), so
+#: resume determinism is unaffected.
+_STACK_MEMO: dict = {}
 
-    Rebuilds the experiment context from the scale — deterministic given
-    the scale's seed and the re-design index, so relaunching the same
-    task after a crash lands on the bit-identical design.
-    """
+
+def _redesign_stack(scale, engine):
     # Local import: daemon.py is imported by the api facade while the
     # harness package is still initialising.
     from repro.harness.experiments import ExperimentContext, _engine_stack
+
+    key = (astuple(scale), engine)
+    hit = _STACK_MEMO.get(key)
+    if hit is None:
+        context = ExperimentContext(scale)
+        adapter, nominal = _engine_stack(context, engine)
+        _STACK_MEMO.clear()
+        _STACK_MEMO[key] = hit = (context, adapter, nominal)
+    return hit
+
+
+def _redesign_task(task):
+    """One background CliffGuard re-design (module-level: process task).
+
+    Rebuilds (or reuses) the experiment context from the scale —
+    deterministic given the scale's seed and the re-design index, so
+    relaunching the same task after a crash lands on the bit-identical
+    design.
+    """
     from repro.workload.sampler import NeighborhoodSampler
 
     scale, engine, designer_name, gamma, redesign_index, window_queries, pool = task
     started = time.perf_counter()
-    context = ExperimentContext(scale)
-    adapter, nominal = _engine_stack(context, engine)
+    context, adapter, nominal = _redesign_stack(scale, engine)
 
     def make_sampler():
         return NeighborhoodSampler(

@@ -1,0 +1,485 @@
+"""Design-stream reuse tests: candidate-matrix cache, delta neighborhood
+evaluation, incremental greedy selection.
+
+The contract is the arena refactor's, one level up: a warm candidate
+matrix (or a delta neighborhood fill) must equal the cold rebuild
+bit-for-bit — tolerance zero, on all three substrates, for read-only and
+mixed read/write workloads, serial or fanned out — and must leave every
+**exported** counter and cache exactly as a cold service would.  The
+cache is derived state: only :class:`~repro.costing.service.ArenaStats`
+(never checkpointed) may see the savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.costing.kernel import affected_union, kernel_for
+from repro.costing.service import KERNEL_MIN_BATCH, CostEvaluationService
+from repro.designers.base import ColumnarAdapter, RowstoreAdapter, SamplesAdapter
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.designers.greedy import CandidateEvaluation, greedy_select
+from repro.designers.rowstore_nominal import RowstoreNominalDesigner
+from repro.designers.samples_nominal import SamplesNominalDesigner
+from repro.engine.optimizer import ColumnarCostModel
+from repro.parallel import ProcessBackend, ThreadBackend
+from repro.rowstore.optimizer import RowstoreCostModel
+from repro.samples.design import StratifiedSample
+from repro.samples.optimizer import SamplesCostModel
+from repro.workload.families import htap_profile
+from repro.workload.generator import TraceGenerator, build_star_schema, r1_profile
+from repro.workload.query import WorkloadQuery
+from repro.workload.workload import Workload
+
+SUBSTRATES = ("columnar", "rowstore", "samples")
+#: Read-only (R1) and mixed read/write (HTAP) query pools: maintenance
+#: terms must survive matrix reuse and delta fills bit-for-bit too.
+MIXES = ("read", "htap")
+
+
+@lru_cache(maxsize=None)
+def _environment(mix: str):
+    schema, roles = build_star_schema(
+        fact_tables=2,
+        fact_rows=200_000,
+        fact_attributes=10,
+        legacy_tables=2,
+        legacy_columns=3,
+        seed=7,
+    )
+    if mix == "read":
+        profile = r1_profile(queries_per_day=6, topic_count=2, templates_per_topic=3)
+    else:
+        profile = htap_profile(queries_per_day=8, topic_count=2, templates_per_topic=3)
+    trace = TraceGenerator(schema, roles, profile, seed=9).generate(days=30)
+    sqls = list(dict.fromkeys(q.sql for q in trace))[:14]
+    assert len(sqls) >= KERNEL_MIN_BATCH
+    return schema, sqls
+
+
+@lru_cache(maxsize=None)
+def _substrate(name: str, mix: str):
+    schema, sqls = _environment(mix)
+    if name == "columnar":
+        model = ColumnarCostModel(schema)
+        nominal = ColumnarNominalDesigner(ColumnarAdapter(model))
+    elif name == "rowstore":
+        model = RowstoreCostModel(schema)
+        nominal = RowstoreNominalDesigner(RowstoreAdapter(model))
+    else:
+        model = SamplesCostModel(schema)
+        nominal = SamplesNominalDesigner(SamplesAdapter(model))
+    candidates = nominal.generate_candidates(Workload.from_sql(sqls))[:10]
+    profiles = [model.profile(sql) for sql in sqls]
+    if name == "samples" and not candidates:
+        used = list(dict.fromkeys(t.table for p in profiles for t in p.tables))
+        candidates = [
+            StratifiedSample(
+                table=table,
+                strata_columns=(schema.table(table).column_names[0],),
+                fraction=fraction,
+            )
+            for table in used[:5]
+            for fraction in (0.01, 0.1)
+        ][:10]
+    assert candidates
+    return model, candidates, profiles
+
+
+def _adapter(model, service: CostEvaluationService):
+    if isinstance(model, ColumnarCostModel):
+        return ColumnarAdapter(model, costing=service)
+    if isinstance(model, RowstoreCostModel):
+        return RowstoreAdapter(model, costing=service)
+    return SamplesAdapter(model, costing=service)
+
+
+def _stack(model, *, warm: bool, backend=None):
+    """(adapter, service) with the design-stream reuse toggles set.
+
+    ``warm=False`` is the cold baseline: every candidate_costs call
+    compiles and prices from scratch, every neighborhood fill is full.
+    """
+    service = CostEvaluationService(model, backend=backend)
+    service.matrix_cache_enabled = warm
+    service.delta_neighborhood_enabled = warm
+    return _adapter(model, service), service
+
+
+def _workload(sqls) -> Workload:
+    return Workload(
+        WorkloadQuery(sql=sql, frequency=float(i + 1)) for i, sql in enumerate(sqls)
+    )
+
+
+def _stat_facts(service: CostEvaluationService) -> dict:
+    """Exported stats minus wall-clock, plus exported cache item order."""
+    facts = {
+        f.name: getattr(service.stats, f.name)
+        for f in dataclass_fields(service.stats)
+        if f.name != "eval_seconds"
+    }
+    facts["query_cache"] = list(service._query_cache.items())
+    return facts
+
+
+# -- warm matrix == cold rebuild ---------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    substrate=st.sampled_from(SUBSTRATES),
+    mix=st.sampled_from(MIXES),
+    mask_a=st.integers(0, 1023),
+    mask_b=st.integers(0, 1023),
+    q_mask=st.integers(1, (1 << 14) - 1),
+)
+def test_warm_matrix_bit_identical_to_cold(substrate, mix, mask_a, mask_b, q_mask):
+    """A second candidate_costs over the resident matrix — full request,
+    then an arbitrary (query-subset × candidate-subset) request served by
+    superset row-mapping — equals a cold service float-for-float."""
+    model, candidates, profiles = _substrate(substrate, mix)
+    warm_adapter, warm = _stack(model, warm=True)
+    calls = [
+        (profiles, [c for i, c in enumerate(candidates) if mask_a & (1 << i)]),
+        (
+            [p for i, p in enumerate(profiles) if q_mask & (1 << i)],
+            [c for i, c in enumerate(candidates) if mask_b & (1 << i)],
+        ),
+    ]
+    for chosen_profiles, chosen_candidates in calls:
+        base_w, matrix_w = warm.candidate_costs(
+            chosen_profiles, chosen_candidates, warm_adapter.make_design
+        )
+        cold_adapter, cold = _stack(model, warm=False)
+        base_c, matrix_c = cold.candidate_costs(
+            chosen_profiles, chosen_candidates, cold_adapter.make_design
+        )
+        np.testing.assert_array_equal(base_w, base_c)
+        np.testing.assert_array_equal(matrix_w, matrix_c)
+    assert len(warm._matrix) >= 1
+    # The cold baseline retains nothing.
+    assert cold.cached_matrix_cells == 0
+    assert len(cold._matrix) == 0
+
+
+def test_repeat_call_serves_from_matrix():
+    """The second identical candidate_costs prices zero new cells."""
+    model, candidates, profiles = _substrate("columnar", "read")
+    adapter, service = _stack(model, warm=True)
+    first = service.candidate_costs(profiles, candidates, adapter.make_design)
+    priced_once = service.arena_stats.matrix_pairs_priced
+    assert priced_once > 0
+    assert service.arena_stats.matrix_hits == 0
+    second = service.candidate_costs(profiles, candidates, adapter.make_design)
+    assert service.arena_stats.matrix_pairs_priced == priced_once
+    assert service.arena_stats.matrix_hits == priced_once
+    np.testing.assert_array_equal(first[0], second[0])
+    np.testing.assert_array_equal(first[1], second[1])
+
+
+def test_matrix_extension_bit_identical():
+    """New SQL extends the resident entry (one matrix_extends, no second
+    entry) and only the tails of stale columns are re-priced."""
+    model, candidates, profiles = _substrate("columnar", "read")
+    adapter, service = _stack(model, warm=True)
+    service.candidate_costs(profiles[:8], candidates, adapter.make_design)
+    priced_prefix = service.arena_stats.matrix_pairs_priced
+    base_w, matrix_w = service.candidate_costs(
+        profiles, candidates, adapter.make_design
+    )
+    assert service.arena_stats.matrix_extends == 1
+    assert len(service._matrix) == 1
+    # Every cell priced under the 8-query prefix was carried over: the
+    # extended call's warm hits are exactly the prefix cells.
+    assert service.arena_stats.matrix_hits == priced_prefix
+    cold_adapter, cold = _stack(model, warm=False)
+    base_c, matrix_c = cold.candidate_costs(
+        profiles, candidates, cold_adapter.make_design
+    )
+    np.testing.assert_array_equal(base_w, base_c)
+    np.testing.assert_array_equal(matrix_w, matrix_c)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(substrate=st.sampled_from(SUBSTRATES), mix=st.sampled_from(MIXES))
+def test_exported_stats_warmth_independent(substrate, mix):
+    """Cold and warm services running the identical call sequence export
+    identical counters and identical query-cache contents *in order* —
+    matrix warmth must be invisible to checkpoints (kill-resume
+    byte-identity)."""
+    model, candidates, profiles = _substrate(substrate, mix)
+    sequences = []
+    for warm in (False, True):
+        adapter, service = _stack(model, warm=warm)
+        service.candidate_costs(profiles, candidates[:6], adapter.make_design)
+        service.candidate_costs(profiles, candidates, adapter.make_design)
+        service.candidate_costs(profiles[:8], candidates[2:], adapter.make_design)
+        workload = _workload([p.sql for p in profiles])
+        ref = adapter.make_design(candidates[:3])
+        service.evaluate_neighborhood([ref], [workload])
+        service.evaluate_neighborhood(
+            [adapter.make_design(candidates[:4])], [workload], reference=ref
+        )
+        sequences.append(_stat_facts(service))
+    assert sequences[0] == sequences[1]
+
+
+# -- delta neighborhood evaluation -------------------------------------------------
+
+
+def _least_affecting(model, candidates, profiles):
+    """(candidate, affected_count) minimizing the affected-query mask."""
+    kernel = kernel_for(model)
+    arena = kernel.compile_queries(profiles)
+    best, best_count = None, None
+    for candidate in candidates:
+        count = int(affected_union(kernel.bind(arena, [candidate])).sum())
+        if best_count is None or count < best_count:
+            best, best_count = candidate, count
+    return best, best_count
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(substrate=st.sampled_from(SUBSTRATES), mix=st.sampled_from(MIXES))
+def test_delta_neighborhood_bit_identical(substrate, mix):
+    """Pricing a candidate design against the incumbent re-reduces only
+    the queries the diff can touch, copies the rest from the reference's
+    cache, and equals the full fill bit-for-bit — stats included."""
+    model, candidates, profiles = _substrate(substrate, mix)
+    sqls = [p.sql for p in profiles]
+    workload = _workload(sqls)
+    added, affected = _least_affecting(model, candidates, profiles)
+    ref_structures = [c for c in candidates[:4] if c is not added]
+    new_structures = ref_structures + [added]
+
+    results = []
+    facts = []
+    for warm in (False, True):
+        adapter, service = _stack(model, warm=warm)
+        ref = adapter.make_design(ref_structures)
+        new = adapter.make_design(new_structures)
+        before = service.evaluate_neighborhood([ref], [workload])[0][0]
+        after = service.evaluate_neighborhood([new], [workload], reference=ref)[0][0]
+        results.append((before.per_query_ms, after.per_query_ms))
+        facts.append(_stat_facts(service))
+        if warm and affected < len(sqls):
+            assert service.arena_stats.neighborhood_deltas >= 1
+            assert service.arena_stats.delta_pairs_saved >= len(sqls) - affected
+    assert results[0] == results[1]
+    assert facts[0] == facts[1]
+
+
+def test_delta_falls_back_when_designs_identical():
+    """reference == design (no diff) must take the full path untouched."""
+    model, candidates, profiles = _substrate("columnar", "read")
+    adapter, service = _stack(model, warm=True)
+    workload = _workload([p.sql for p in profiles])
+    design = adapter.make_design(candidates[:3])
+    twin = adapter.make_design(candidates[:3])
+    service.evaluate_neighborhood([design], [workload])
+    service.evaluate_neighborhood([twin], [workload], reference=design)
+    assert service.arena_stats.neighborhood_deltas == 0
+
+
+# -- backend equivalence -----------------------------------------------------------
+
+
+def test_matrix_process_fanout_bit_identical():
+    """Warm and cold candidate matrices over ProcessBackend(jobs=2)
+    (shm-shipped column slices) equal the serial floats exactly."""
+    model, candidates, profiles = _substrate("columnar", "htap")
+    serial_adapter, serial = _stack(model, warm=True)
+    expect = [
+        serial.candidate_costs(profiles, candidates, serial_adapter.make_design),
+        serial.candidate_costs(profiles[:9], candidates, serial_adapter.make_design),
+    ]
+    backend = ProcessBackend(jobs=2)
+    try:
+        adapter, fanned = _stack(model, warm=True, backend=backend)
+        got = [
+            fanned.candidate_costs(profiles, candidates, adapter.make_design),
+            fanned.candidate_costs(profiles[:9], candidates, adapter.make_design),
+        ]
+        assert fanned.arena_stats.shm_fanouts >= 1
+    finally:
+        backend.shutdown()
+    for (base_s, matrix_s), (base_p, matrix_p) in zip(expect, got):
+        np.testing.assert_array_equal(base_s, base_p)
+        np.testing.assert_array_equal(matrix_s, matrix_p)
+
+
+def test_matrix_thread_fanout_bit_identical():
+    model, candidates, profiles = _substrate("rowstore", "read")
+    serial_adapter, serial = _stack(model, warm=True)
+    base_s, matrix_s = serial.candidate_costs(
+        profiles, candidates, serial_adapter.make_design
+    )
+    for jobs in (2, 3):
+        backend = ThreadBackend(jobs=jobs)
+        try:
+            adapter, fanned = _stack(model, warm=True, backend=backend)
+            base_t, matrix_t = fanned.candidate_costs(
+                profiles, candidates, adapter.make_design
+            )
+        finally:
+            backend.shutdown()
+        np.testing.assert_array_equal(base_s, base_t)
+        np.testing.assert_array_equal(matrix_s, matrix_t)
+
+
+# -- invalidation and bounds -------------------------------------------------------
+
+
+def test_clear_and_invalidate_drop_matrix():
+    model, candidates, profiles = _substrate("columnar", "read")
+    adapter, service = _stack(model, warm=True)
+    service.candidate_costs(profiles, candidates, adapter.make_design)
+    assert service.cached_matrix_cells > 0
+    service.clear()
+    assert service.cached_matrix_cells == 0
+    assert service.cached_matrix_columns == 0
+
+    base_1, matrix_1 = service.candidate_costs(
+        profiles, candidates, adapter.make_design
+    )
+    assert service.cached_matrix_cells > 0
+    service.invalidate_design(adapter.make_design(candidates[:1]))
+    assert service.cached_matrix_cells == 0
+    # The rebuild after either drop is bit-identical.
+    base_2, matrix_2 = service.candidate_costs(
+        profiles, candidates, adapter.make_design
+    )
+    np.testing.assert_array_equal(base_1, base_2)
+    np.testing.assert_array_equal(matrix_1, matrix_2)
+
+
+def test_matrix_cell_budget_evicts_columns():
+    model, candidates, profiles = _substrate("columnar", "read")
+    adapter, service = _stack(model, warm=True)
+    service.max_matrix_cells = len(profiles) * 2  # room for ~2 columns
+    base_1, matrix_1 = service.candidate_costs(
+        profiles, candidates, adapter.make_design
+    )
+    assert service.arena_stats.matrix_evictions >= 1
+    assert service.cached_matrix_cells <= service.max_matrix_cells
+    base_2, matrix_2 = service.candidate_costs(
+        profiles, candidates, adapter.make_design
+    )
+    np.testing.assert_array_equal(base_1, base_2)
+    np.testing.assert_array_equal(matrix_1, matrix_2)
+
+
+def test_matrix_excluded_from_state_export():
+    """The matrix cache is derived state: exports never mention it, and
+    an importing service starts matrix-cold with identical floats."""
+    model, candidates, profiles = _substrate("columnar", "read")
+    adapter, service = _stack(model, warm=True)
+    base_1, matrix_1 = service.candidate_costs(
+        profiles, candidates, adapter.make_design
+    )
+    state = service.export_state()
+    assert "matrix" not in str(sorted(state.keys()))
+
+    resumed_adapter, resumed = _stack(model, warm=True)
+    resumed.import_state(state)
+    assert resumed.cached_matrix_cells == 0
+    base_2, matrix_2 = resumed.candidate_costs(
+        profiles, candidates, resumed_adapter.make_design
+    )
+    np.testing.assert_array_equal(base_1, base_2)
+    np.testing.assert_array_equal(matrix_1, matrix_2)
+
+
+# -- incremental greedy selection --------------------------------------------------
+
+
+def _reference_greedy(evaluation, budget_bytes, max_structures=None, min_benefit_ms=1e-6):
+    """The pre-incremental selection loop, verbatim: re-materializes the
+    full improvements array every pick.  The regression oracle."""
+    if not evaluation.candidates or evaluation.base_costs.size == 0:
+        return []
+    current = evaluation.base_costs.copy()
+    weights = evaluation.weights
+    matrix = evaluation.matrix
+    sizes = evaluation.sizes
+    remaining = float(budget_bytes)
+    chosen = []
+    available = np.ones(len(evaluation.candidates), dtype=bool)
+    while True:
+        if max_structures is not None and len(chosen) >= max_structures:
+            break
+        affordable = available & (sizes <= remaining)
+        if not affordable.any():
+            break
+        improvements = np.maximum(current[None, :] - matrix, 0.0)
+        improvements[~np.isfinite(improvements)] = 0.0
+        benefits = improvements @ weights
+        benefits[~affordable] = -np.inf
+        density = benefits / np.maximum(sizes, 1.0)
+        pick = int(np.argmax(density))
+        if benefits[pick] <= min_benefit_ms:
+            break
+        chosen.append(pick)
+        available[pick] = False
+        remaining -= float(sizes[pick])
+        current = np.minimum(current, np.where(np.isfinite(matrix[pick]), matrix[pick], np.inf))
+    return [evaluation.candidates[i] for i in chosen]
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    n_candidates=st.integers(1, 12),
+    n_queries=st.integers(1, 10),
+    budget=st.integers(1, 500),
+    cap=st.one_of(st.none(), st.integers(0, 6)),
+)
+def test_greedy_incremental_selection_order_regression(
+    seed, n_candidates, n_queries, budget, cap
+):
+    """The incremental update picks the same structures in the same
+    order as the full per-pick rebuild, on adversarial matrices with
+    unservable (inf) cells, ties, and off-table no-op columns."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(1.0, 100.0, size=n_queries)
+    matrix = rng.uniform(0.5, 120.0, size=(n_candidates, n_queries))
+    matrix[rng.random(matrix.shape) < 0.2] = np.inf
+    # Off-table candidates: whole rows pinned at base (zero benefit).
+    matrix[rng.random(n_candidates) < 0.2] = base[None, :]
+    evaluation = CandidateEvaluation(
+        candidates=list(range(n_candidates)),
+        sqls=[f"q{i}" for i in range(n_queries)],
+        weights=rng.uniform(0.5, 5.0, size=n_queries),
+        base_costs=base,
+        matrix=matrix,
+        sizes=rng.integers(1, 60, size=n_candidates).astype(np.float64),
+    )
+    assert greedy_select(evaluation, budget, max_structures=cap) == _reference_greedy(
+        evaluation, budget, max_structures=cap
+    )
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(substrate=st.sampled_from(SUBSTRATES), mix=st.sampled_from(MIXES))
+def test_greedy_selection_order_on_real_matrices(substrate, mix):
+    model, candidates, profiles = _substrate(substrate, mix)
+    adapter, service = _stack(model, warm=True)
+    base, matrix = service.candidate_costs(profiles, candidates, adapter.make_design)
+    evaluation = CandidateEvaluation(
+        candidates=candidates,
+        sqls=[p.sql for p in profiles],
+        weights=np.arange(1.0, len(profiles) + 1.0),
+        base_costs=base,
+        matrix=matrix,
+        sizes=np.array(
+            [adapter.structure_size(c) for c in candidates], dtype=np.float64
+        ),
+    )
+    budget = int(evaluation.sizes.sum() / 2) + 1
+    assert greedy_select(evaluation, budget) == _reference_greedy(evaluation, budget)

@@ -86,12 +86,16 @@ def _sampler(schema, trace, window, seed=3):
 
 
 def _report_facts(report):
-    """Every report field except the wall-clock one (timing is the only
-    thing the resume-equivalence contract excludes)."""
+    """Every report field the resume-equivalence contract covers.
+
+    ``RESUME_EXEMPT_FIELDS`` names the excluded ones: wall-clock timings
+    and the cache-warmth tallies (matrix hits / delta savings), which by
+    design depend on how much derived cache state survived the kill."""
+    exempt = type(report).RESUME_EXEMPT_FIELDS
     return {
         f.name: getattr(report, f.name)
         for f in fields(report)
-        if f.name != "eval_wall_seconds"
+        if f.name not in exempt
     }
 
 
