@@ -1,0 +1,341 @@
+"""BanditDesigner vs CliffGuard vs the nominal designer under drift.
+
+The designer registry is an *arena*: any strategy mapping a workload
+window to a design under the storage budget can race the BNT local
+search.  This benchmark replays four drift scenarios — ``R1`` (the paper's
+read-only analytical drift), ``ECOMMERCE`` (flash-sale write bursts +
+seasonal cycle), ``OLTP`` (write-majority), and ``HTAP`` (analytical
+drift over a transactional write stream) —
+through the Figure-7 designer comparison with the C²UCB
+:class:`~repro.designers.bandit.BanditDesigner` in the field, and
+records:
+
+* per-window **regret curves** — the bandit's window latency minus the
+  best rival's on the same window (negative = the bandit won the
+  window);
+* the bandit's learner counters (``rounds``, ``observations``,
+  ``safety_fallbacks``, ``model_digest``) from ``DesignerRun.stats``;
+* serial-vs-process **digest identity**: every configuration runs on
+  both backends and the window trajectories *and* learner stats must be
+  bit-identical (``equal: true``); any divergence is a hard failure.
+
+A separate **safety drill** cranks the ECOMMERCE flash-sale knobs
+(``flash_sale_probability=0.3``, ``flash_sale_write_boost=8.0``) until
+write bursts dominate whole windows, then runs the bandit at
+``safety_margin=0.0`` so the no-regret guard has to fire: the drill
+asserts at least one ``safety_fallbacks`` event and (run twice) a
+deterministic model digest.
+
+Output (``BENCH_bandit_arena.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_bandit_arena.py           # full
+    PYTHONPATH=src python benchmarks/bench_bandit_arena.py --smoke   # CI leg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.designers.bandit import BanditDesigner
+from repro.designers.columnar_nominal import ColumnarNominalDesigner
+from repro.harness.experiments import (
+    ExperimentContext,
+    ExperimentScale,
+    run_designer_comparison,
+)
+from repro.parallel import ProcessBackend, SerialBackend
+from repro.workload.families import ecommerce_profile
+from repro.workload.generator import TraceGenerator
+from repro.workload.windows import split_windows
+
+BANDIT = "BanditDesigner"
+ARENA = ["ExistingDesigner", "CliffGuard", BANDIT]
+
+#: (name, workload, scale).  ``skip_transitions=1`` keeps the cold-start
+#: window out; the remaining transitions all carry drifted mixes, and
+#: the bandit learns across them through the replay observe hook.
+FULL_CONFIGS = [
+    (
+        "r1-read-only",
+        "R1",
+        ExperimentScale(
+            days=140,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=3,
+            legacy_tables=3,
+            max_transitions=3,
+            skip_transitions=1,
+        ),
+    ),
+    (
+        "ecommerce-flash-sale",
+        "ECOMMERCE",
+        ExperimentScale(
+            days=140,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=5,
+            legacy_tables=3,
+            max_transitions=3,
+            skip_transitions=1,
+        ),
+    ),
+    (
+        "oltp-write-majority",
+        "OLTP",
+        ExperimentScale(
+            days=112,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=7,
+            legacy_tables=3,
+            max_transitions=2,
+            skip_transitions=1,
+        ),
+    ),
+    (
+        "htap-write-mix",
+        "HTAP",
+        ExperimentScale(
+            days=140,
+            window_days=28,
+            queries_per_day=12,
+            n_samples=4,
+            iterations=2,
+            seed=2,
+            legacy_tables=3,
+            max_transitions=3,
+            skip_transitions=1,
+        ),
+    ),
+]
+
+SMOKE_CONFIGS = [
+    (
+        "smoke-ecommerce",
+        "ECOMMERCE",
+        ExperimentScale(
+            days=84,
+            window_days=28,
+            queries_per_day=6,
+            n_samples=2,
+            iterations=1,
+            seed=3,
+            legacy_tables=2,
+            max_transitions=2,
+            skip_transitions=0,
+        ),
+    ),
+]
+
+
+def _run_windows(run) -> list[dict]:
+    return [
+        {
+            "window_index": w.window_index,
+            "average_ms": w.average_ms,
+            "max_ms": w.max_ms,
+            "design_price_bytes": w.design_price_bytes,
+            "structure_count": w.structure_count,
+        }
+        for w in run.windows
+    ]
+
+
+def _comparison(workload: str, scale: ExperimentScale, backend) -> dict:
+    context = ExperimentContext(scale)
+    result = run_designer_comparison(context, workload, which=ARENA, backend=backend)
+    return {
+        name: {
+            "windows": _run_windows(result.run(name)),
+            "stats": result.run(name).stats,
+        }
+        for name in ARENA
+    }
+
+
+def _regret_curve(arena: dict) -> list[dict]:
+    """Per window: bandit latency minus the best rival's (< 0 = bandit won)."""
+    curve = []
+    bandit = arena[BANDIT]["windows"]
+    rivals = [arena[name]["windows"] for name in ARENA if name != BANDIT]
+    for i, window in enumerate(bandit):
+        best_rival = min(r[i]["average_ms"] for r in rivals)
+        curve.append(
+            {
+                "window_index": window["window_index"],
+                "bandit_ms": window["average_ms"],
+                "best_rival_ms": best_rival,
+                "regret_ms": window["average_ms"] - best_rival,
+            }
+        )
+    return curve
+
+
+def _summary(windows: list[dict]) -> dict:
+    avgs = [w["average_ms"] for w in windows]
+    return {
+        "mean_average_ms": sum(avgs) / len(avgs),
+        "worst_window_ms": max(avgs),
+        "mean_price_bytes": sum(w["design_price_bytes"] for w in windows)
+        / len(windows),
+    }
+
+
+def safety_drill(seed: int = 5, days: int = 84, window_days: int = 7) -> dict:
+    """Flash-sale stress run that must trip the no-regret guard.
+
+    The boosted profile makes flash-sale windows write-dominated, so the
+    exploring super-arm is periodically predicted to regress past the
+    zero-margin incumbent bound and the guard has to fall back.  Run
+    twice start-to-finish: identical fallback counts and model digests
+    are the determinism half of the drill.
+    """
+
+    def once() -> BanditDesigner:
+        scale = ExperimentScale(
+            days=days,
+            window_days=window_days,
+            queries_per_day=8,
+            n_samples=2,
+            iterations=1,
+            seed=seed,
+            legacy_tables=2,
+            max_transitions=None,
+            skip_transitions=0,
+        )
+        context = ExperimentContext(scale)
+        profile = ecommerce_profile(
+            queries_per_day=scale.queries_per_day,
+            flash_sale_probability=0.3,
+            flash_sale_write_boost=8.0,
+        )
+        generator = TraceGenerator(
+            context.schema, context.roles, profile, seed=scale.seed
+        )
+        windows = [
+            w
+            for w in split_windows(generator.generate(days=scale.days), window_days)
+            if len(w)
+        ]
+        adapter = context.columnar_adapter()
+        nominal = ColumnarNominalDesigner(adapter)
+        bandit = BanditDesigner(nominal, adapter, safety_margin=0.0, seed=0)
+        for i in range(len(windows) - 1):
+            design = bandit.design(windows[i])
+            observed = {
+                q.sql: adapter.query_cost(q.sql, design)
+                for q in windows[i + 1].collapsed()
+            }
+            bandit.observe(windows[i + 1], design, observed)
+        return bandit
+
+    first, second = once(), once()
+    deterministic = (
+        first.model_digest() == second.model_digest()
+        and first.safety_fallbacks == second.safety_fallbacks
+    )
+    if not deterministic:
+        raise SystemExit("safety drill: two identical runs diverged")
+    if first.safety_fallbacks < 1:
+        raise SystemExit(
+            "safety drill: no safety-fallback event under flash-sale drift"
+        )
+    return {
+        "workload": "ECOMMERCE (flash_sale_probability=0.3, write_boost=8.0)",
+        "safety_margin": 0.0,
+        "rounds": first.rounds,
+        "safety_fallbacks": first.safety_fallbacks,
+        "model_digest": first.model_digest(),
+        "deterministic": deterministic,
+    }
+
+
+def run(configs, out_path: Path) -> dict:
+    results = []
+    for name, workload, scale in configs:
+        started = time.perf_counter()
+        serial = _comparison(workload, scale, SerialBackend())
+        with ProcessBackend(jobs=2) as pool:
+            process = _comparison(workload, scale, pool)
+        if serial != process:
+            raise SystemExit(f"{name}: serial and process backends diverged")
+        bandit_stats = serial[BANDIT]["stats"]
+        record = {
+            "name": name,
+            "workload": workload,
+            "transitions": len(serial[BANDIT]["windows"]),
+            "summaries": {
+                d: _summary(serial[d]["windows"]) for d in ARENA
+            },
+            "bandit_stats": bandit_stats,
+            "regret_curve": _regret_curve(serial),
+            "windows": {d: serial[d]["windows"] for d in ARENA},
+            "equal": True,
+            "seconds": time.perf_counter() - started,
+        }
+        results.append(record)
+        mean_regret = sum(p["regret_ms"] for p in record["regret_curve"]) / len(
+            record["regret_curve"]
+        )
+        print(
+            f"{name}: bandit mean "
+            f"{record['summaries'][BANDIT]['mean_average_ms']:.2f}ms  "
+            f"cliffguard mean "
+            f"{record['summaries']['CliffGuard']['mean_average_ms']:.2f}ms  "
+            f"mean regret {mean_regret:+.2f}ms  "
+            f"fallbacks {bandit_stats['safety_fallbacks']}  "
+            f"({record['seconds']:.1f}s)"
+        )
+    drill = safety_drill()
+    print(
+        f"safety drill: {drill['safety_fallbacks']} fallbacks over "
+        f"{drill['rounds']} rounds, deterministic={drill['deterministic']}"
+    )
+    payload = {
+        "benchmark": "bandit_arena",
+        "configs": results,
+        "safety_drill": drill,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes: exercises determinism, the safety drill, and "
+        "the JSON format only",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_bandit_arena.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    out = args.out
+    if args.smoke and out.name == "BENCH_bandit_arena.json":
+        # The smoke leg must not clobber the checked-in full-run record.
+        out = out.with_name("BENCH_bandit_arena.smoke.json")
+    run(configs, out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

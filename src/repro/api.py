@@ -501,12 +501,18 @@ class RobustDesignSession:
         # ``submit`` needs a real backend; the inline serial path maps to
         # an explicit SerialBackend (reference semantics, blocking swaps).
         backend = self.backend if self.backend is not None else SerialBackend()
+        # Online learners (learns_online) must live in the daemon process
+        # — background workers would lose the per-boundary feedback — so
+        # the designer is instantiated here and handed over; classic
+        # designers keep re-designing by name in background tasks.
+        built, _ = self.designer(cfg.designer)
+        learner = built if getattr(built, "learns_online", False) else None
         return ServeDaemon(
             scale=self.config.scale(),
             workload=workload,
             engine=self.config.engine,
             gamma=self.gamma,
-            designer="CliffGuard",
+            designer=cfg.designer,
             adapter=self.adapter,
             source=source,
             policy=policy,
@@ -516,6 +522,7 @@ class RobustDesignSession:
             distance=self.context.distance,
             threshold=threshold,
             checkpointer=checkpointer,
+            learner=learner,
         )
 
     def serve(self, serve: ServeConfig | None = None, **overrides) -> ServeOutcome:

@@ -46,9 +46,27 @@ class Designer(abc.ABC):
     #: Display name used in reports (set per instance or subclass).
     name: str = "designer"
 
+    #: Whether the designer learns from :meth:`observe` feedback.  The
+    #: harnesses use this to decide when per-window observed costs are
+    #: worth recording, and the serve daemon to decide whether re-designs
+    #: must run in-process (a background worker would lose the learning).
+    learns_online: bool = False
+
     @abc.abstractmethod
     def design(self, workload: Workload):
         """Produce a design for ``workload`` within the budget."""
+
+    def observe(self, window: Workload, design, observed_costs) -> None:
+        """Feedback hook: the costs actually observed for one window.
+
+        Called by the replay harness after each window evaluation and by
+        the serve daemon at each window boundary, with the ``design``
+        that served the window and ``observed_costs`` mapping SQL text
+        to the recorded per-query cost.  The default is a no-op; online
+        learners (``learns_online = True``) override it to update their
+        model.  Implementations must be deterministic given the call
+        sequence — the kill-resume bit-identity contract covers them.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

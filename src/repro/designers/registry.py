@@ -40,6 +40,29 @@ def names() -> list[str]:
     return list(_FACTORIES)
 
 
+def validate_names(which: list[str]) -> list[str]:
+    """Check a designer-name selection for duplicates and unknown names.
+
+    Harness resume state and fan-out task sets are keyed by designer
+    name, so a duplicated name would silently double-run a designer and
+    corrupt the ``done``-keyed resume dict; both problems are rejected
+    loudly here.  Returns ``which`` unchanged (as a list) for chaining.
+    """
+    seen: set[str] = set()
+    for name in which:
+        if name not in _FACTORIES:
+            raise ValueError(
+                f"unknown designer {name!r} (registered: {', '.join(_FACTORIES)})"
+            )
+        if name in seen:
+            raise ValueError(
+                f"duplicate designer {name!r} in selection {list(which)!r}: "
+                "results and resume state are keyed by name"
+            )
+        seen.add(name)
+    return list(which)
+
+
 def get(
     name: str,
     adapter: DesignAdapter,
@@ -75,7 +98,7 @@ def build_all(
     """Build the designer zoo (or the ``which`` subset) in display order."""
     designers: dict[str, Designer] = {}
     samplers: list[NeighborhoodSampler] = []
-    for name in which if which is not None else names():
+    for name in validate_names(which) if which is not None else names():
         designer, sampler = get(name, adapter, nominal, gamma, make_sampler, **cfg)
         designers[name] = designer
         if sampler is not None:
@@ -148,9 +171,24 @@ def _cliffguard(adapter, nominal, gamma, make_sampler, **cfg):
     )
 
 
+def _bandit(adapter, nominal, gamma, make_sampler, **cfg):
+    # Imported lazily for symmetry with CliffGuard (and to keep the
+    # registry import light); the bandit needs no neighborhood sampler —
+    # exploration lives in the UCB width, not in workload perturbation.
+    from repro.designers.bandit import BanditDesigner
+
+    kwargs = {
+        key[len("bandit_"):]: value
+        for key, value in cfg.items()
+        if key.startswith("bandit_")
+    }
+    return BanditDesigner(nominal, adapter, **kwargs), None
+
+
 register("NoDesign", _no_design)
 register("FutureKnowingDesigner", _future_knowing)
 register("ExistingDesigner", _existing)
 register("MajorityVoteDesigner", _majority_vote)
 register("OptimalLocalSearchDesigner", _local_search)
 register("CliffGuard", _cliffguard)
+register("BanditDesigner", _bandit)

@@ -47,7 +47,13 @@ from repro.obs import tracer
 from repro.parallel.backends import ExecutionBackend, resolve_backend
 from repro.rowstore.optimizer import RowstoreCostModel
 from repro.serve.sources import TraceSource
-from repro.state import RunCheckpointer, costing_state, restore_costing, run_key
+from repro.state import (
+    CheckpointMismatchError,
+    RunCheckpointer,
+    costing_state,
+    restore_costing,
+    run_key,
+)
 from repro.workload.distance import SWGO, LatencyAwareDistance, WorkloadDistance
 from repro.workload.families import ecommerce_profile, htap_profile, oltp_profile
 from repro.workload.generator import (
@@ -421,7 +427,9 @@ def run_designer_comparison(
     """
     if gamma is None:
         gamma = context.default_gamma(workload)
-    names = which if which is not None else registry.names()
+    # Duplicate or unknown names would double-run designers and corrupt
+    # the name-keyed resume dict below; reject them before any work.
+    names = registry.validate_names(which) if which is not None else registry.names()
     state_key = run_key(
         "designer_comparison",
         astuple(context.scale),
@@ -453,14 +461,34 @@ def run_designer_comparison(
         if state is not None:
             done = state["runs"]
             counts = state["counts"]
+            # The run key covers the requested names, but a forged or
+            # hand-moved snapshot could still carry designers this call
+            # never asked for; replaying them into the result would be
+            # silent corruption, so reject loudly instead.
+            stale = sorted(set(done) - set(names))
+            if stale:
+                raise CheckpointMismatchError(
+                    f"designer_comparison resume: snapshot contains designers "
+                    f"{stale} not in the requested selection {list(names)}"
+                )
     pending = [name for name in names if name not in done]
     tasks = [(context.scale, workload, engine, name, gamma) for name in pending]
     result = ReplayResult(workload_name=workload)
     t = tracer()
     for name, run, task_counts in executor.map(_designer_comparison_task, tasks):
         done[name] = run
+        # Every designer replays the identical window sequence, so the
+        # evaluated-query counts are a per-designer invariant; adopting
+        # the first task's list and trusting the rest would let a
+        # divergent replay slip through unnoticed.
         if not counts:
             counts = task_counts
+        elif task_counts != counts:
+            raise RuntimeError(
+                f"designer_comparison: evaluated-query counts diverged for "
+                f"{name!r}: expected {counts}, task produced {task_counts} — "
+                "designer tasks no longer replay identical windows"
+            )
         if t.enabled:
             # Worker processes carry the null tracer, so fanned-out
             # replays surface here as one summary event per designer.

@@ -105,6 +105,11 @@ class WindowOutcome:
     raw_cost_model_calls: int = 0
     #: Fraction of lookups served from the evaluation service's cache.
     cache_hit_rate: float = 0.0
+    #: Per-query observed costs under the window's active design
+    #: (``sql -> ms``).  Recorded only for online-learning designers
+    #: (``learns_online``) — it is the reward signal their ``observe``
+    #: hook consumes — so checkpoint sizes for the classic zoo stay flat.
+    observed_query_ms: dict[str, float] | None = None
 
 
 @dataclass
@@ -113,6 +118,11 @@ class DesignerRun:
 
     name: str
     windows: list[WindowOutcome] = field(default_factory=list)
+    #: Designer-reported counters (``designer.stats()``), refreshed after
+    #: every window; ``None`` for designers that report none.  The bandit
+    #: surfaces its rounds/observations/safety-fallback counts and model
+    #: digest here, and they travel through backend fan-out intact.
+    stats: dict | None = None
 
     @property
     def mean_average_ms(self) -> float:
@@ -300,7 +310,24 @@ def replay(
                 raw_cost_model_calls=raw_calls,
                 cache_hit_rate=hit_rate,
             )
+            if getattr(designer, "learns_online", False):
+                # The observed per-query costs are the learner's reward
+                # signal; the evaluation pass just priced them, so this
+                # drains the memo cache (outside the effort delta above,
+                # keeping the classic counters unchanged).
+                observed: dict[str, float] = {}
+                for query in evaluation:
+                    try:
+                        profile = adapter.profile(query.sql)
+                    except ValueError:
+                        continue
+                    observed[query.sql] = adapter.query_cost(profile, design)
+                outcome.observed_query_ms = observed
+                designer.observe(evaluation, design, observed)
             result.runs[name].windows.append(outcome)
+            stats = getattr(designer, "stats", None)
+            if callable(stats):
+                result.runs[name].stats = stats()
             if t.enabled:
                 t.emit(
                     "redesign",

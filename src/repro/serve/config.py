@@ -39,6 +39,13 @@ class ServeConfig:
     window_days:
         Sliding-window length for the online `WorkloadMonitor`
         (``None`` → the run config's ``window_days``).
+    designer:
+        Registered designer driving re-designs (``CliffGuard`` by
+        default).  Designers that learn online
+        (:class:`~repro.designers.bandit.BanditDesigner`) run their
+        re-designs in-process at the window boundary and receive
+        observed-cost feedback at every boundary; their learner state
+        rides in the daemon's checkpoints.
     policy:
         ``"drift"`` re-designs when the window's δ from the design-time
         window exceeds ``threshold``; ``"periodic"`` re-designs every
@@ -87,6 +94,7 @@ class ServeConfig:
 
     source: QuerySource | str | None = None
     window_days: float | None = None
+    designer: str = "CliffGuard"
     policy: str = "drift"
     threshold: float | None = None
     every: int = 1
@@ -103,6 +111,10 @@ class ServeConfig:
     resume: bool | None = None
 
     def __post_init__(self):
+        if not isinstance(self.designer, str) or not self.designer:
+            raise ValueError(
+                f"designer must be a registered designer name, got {self.designer!r}"
+            )
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
         if self.swap_mode not in SWAP_MODES:

@@ -47,7 +47,14 @@ from repro.parallel.jobs import BackgroundJob
 from repro.serve.config import ServeConfig
 from repro.serve.handle import ActiveDesign, design_digest
 from repro.serve.sources import QuerySource
-from repro.state import RunCheckpointer, costing_state, restore_costing, run_key
+from repro.state import (
+    RunCheckpointer,
+    costing_state,
+    designer_state,
+    restore_costing,
+    restore_designer,
+    run_key,
+)
 from repro.workload.monitor import WorkloadMonitor
 from repro.workload.query import WorkloadQuery
 from repro.workload.workload import Workload
@@ -80,6 +87,11 @@ class PendingRedesign:
     task: tuple
     launch_position: int
     job: BackgroundJob | None = None
+    #: Inline (learner) re-designs finish at launch; their
+    #: ``(design, seconds)`` result rides in the checkpoint so a resumed
+    #: daemon installs the stored design instead of re-running the
+    #: learner (which would double-advance its model and RNG stream).
+    result: tuple | None = None
 
 
 @dataclass
@@ -195,6 +207,7 @@ class ServeDaemon:
         distance,
         threshold: float,
         checkpointer: RunCheckpointer | None = None,
+        learner=None,
     ):
         self.scale = scale
         self.workload = workload
@@ -208,6 +221,12 @@ class ServeDaemon:
         self.serve = serve
         self.backend = backend
         self.checkpointer = checkpointer
+        #: An online-learning designer instance (``learns_online``), or
+        #: ``None`` for classic background re-designs by name.  The
+        #: learner lives in the daemon process: it observes every window
+        #: boundary and designs inline there, so feedback accumulated
+        #: between launch and swap is never lost to a worker copy.
+        self.learner = learner
         self.monitor = WorkloadMonitor(
             distance,
             threshold,
@@ -277,7 +296,11 @@ class ServeDaemon:
                 "window": self.pending.window,
                 "task": self.pending.task,
                 "launch_position": self.pending.launch_position,
+                "result": self.pending.result,
             },
+            "learner": designer_state(self.learner)
+            if self.learner is not None
+            else None,
             "costing": costing_state(self.adapter),
         }
 
@@ -311,18 +334,30 @@ class ServeDaemon:
         self.history = list(state["history"])
         self.priced = list(state["priced"]) if state["priced"] is not None else []
         restore_costing(self.adapter, state["costing"])
+        if self.learner is not None:
+            restore_designer(self.learner, state.get("learner"))
         pending = state["pending"]
         if pending is not None:
-            # The in-flight job died with the process; relaunch it.  The
-            # task tuple fully determines the design, so the resumed run
-            # swaps in the identical result.
             self.pending = PendingRedesign(
                 index=pending["index"],
                 window=pending["window"],
                 task=pending["task"],
                 launch_position=pending["launch_position"],
+                result=pending.get("result"),
             )
-            self.pending.job = self.backend.submit(_redesign_task, self.pending.task)
+            if self.pending.result is not None:
+                # An inline learner re-design: the design was computed
+                # before the snapshot and the learner state already
+                # reflects it — install the stored result rather than
+                # re-running the learner.
+                self.pending.job = BackgroundJob.completed(self.pending.result)
+            else:
+                # The in-flight job died with the process; relaunch it.
+                # The task tuple fully determines the design, so the
+                # resumed run swaps in the identical result.
+                self.pending.job = self.backend.submit(
+                    _redesign_task, self.pending.task
+                )
         self.resumed = True
         return True
 
@@ -391,6 +426,11 @@ class ServeDaemon:
                 distance=last_reading,
                 backlog=self.source.backlog(),
             )
+        if self.learner is not None and len(window):
+            # Feedback before any swap: the completed window was served
+            # by the *current* active design, so its observed costs must
+            # credit that design's structures (docs/designers.md).
+            self._observe_window(window)
         if self.pending is not None and self.serve.swap_mode == "boundary":
             # Deterministic barrier: the swap decision depends only on
             # the boundary index, never on wall-clock timing.
@@ -413,6 +453,19 @@ class ServeDaemon:
         force = self._swap_dirty
         self._swap_dirty = False
         self._checkpoint("window", force=force)
+
+    def _observe_window(self, window: Workload) -> None:
+        """Feed one completed window's observed costs to the learner."""
+        with self.active.pin() as (_epoch, design):
+            observed: dict[str, float] = {}
+            for query in window.collapsed():
+                try:
+                    profile = self.adapter.profile(query.sql)
+                except ValueError:
+                    continue
+                observed[query.sql] = self.adapter.query_cost(profile, design)
+            self.learner.observe(window, design, observed)
+        get_metrics().counter("serve.learner_observations").inc()
 
     def _launch(self, index: int, window: Workload) -> None:
         task = (
@@ -440,9 +493,21 @@ class ServeDaemon:
                 window=index,
                 position=self.position,
                 window_queries=len(window),
-                backend=self.backend.name,
+                backend="inline" if self.learner is not None else self.backend.name,
             )
-        self.pending.job = self.backend.submit(_redesign_task, task)
+        if self.learner is not None:
+            # Online learners design in-process: shipping the model to a
+            # worker and importing it back would lose every observation
+            # made between launch and swap.  The design is cheap (one
+            # candidate evaluation — that is the point of the bandit),
+            # and the finished result still flows through the pending/
+            # swap machinery so both swap modes behave identically.
+            started = time.perf_counter()
+            design = self.learner.design(window)
+            self.pending.result = (design, time.perf_counter() - started)
+            self.pending.job = BackgroundJob.completed(self.pending.result)
+        else:
+            self.pending.job = self.backend.submit(_redesign_task, task)
 
     def _poll_pending(self) -> None:
         """Non-blocking progress check on the in-flight re-design."""

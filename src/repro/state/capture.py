@@ -34,14 +34,22 @@ def restore_sampler(sampler, state: dict) -> None:
 def designer_state(designer) -> dict | None:
     """Snapshot the resumable state a designer carries, if any.
 
-    Designers are black boxes to the harness; the only stateful one in
-    the zoo is CliffGuard (and friends) holding a sampler whose rng
-    advances across windows.  Stateless designers return ``None``.
+    Designers are black boxes to the harness, so the capture is
+    duck-typed: a ``sampler`` with an ``rng`` (CliffGuard and friends —
+    the generator position decides every future perturbation draw) is
+    snapshotted as before, and a designer exposing
+    ``export_state``/``import_state`` (the online learners — the bandit's
+    V/b matrices, RNG stream, incumbent, and arm log) ships its own
+    state dict alongside.  Stateless designers return ``None``.
     """
+    state: dict = {}
     sampler = getattr(designer, "sampler", None)
-    if sampler is None or not hasattr(sampler, "rng"):
-        return None
-    return {"sampler": sampler_state(sampler)}
+    if sampler is not None and hasattr(sampler, "rng"):
+        state["sampler"] = sampler_state(sampler)
+    export = getattr(designer, "export_state", None)
+    if callable(export):
+        state["model"] = export()
+    return state or None
 
 
 def restore_designer(designer, state: dict | None) -> None:
@@ -51,6 +59,9 @@ def restore_designer(designer, state: dict | None) -> None:
     sampler = getattr(designer, "sampler", None)
     if sampler is not None and "sampler" in state:
         restore_sampler(sampler, state["sampler"])
+    restore = getattr(designer, "import_state", None)
+    if callable(restore) and "model" in state:
+        restore(state["model"])
 
 
 def monitor_state(monitor) -> dict:

@@ -137,6 +137,7 @@ class TestRegistry:
             "MajorityVoteDesigner",
             "OptimalLocalSearchDesigner",
             "CliffGuard",
+            "BanditDesigner",
         ]
 
     def test_duplicate_registration_rejected(self):
